@@ -1,0 +1,74 @@
+"""Shared benchmark fixtures: a medium synthetic survey and its stores.
+
+Benchmarks print paper-vs-measured rows (run with ``-s`` to see them) and
+assert the *shape* of each claim — who wins and by roughly what factor —
+rather than absolute 1999-hardware numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import SkySimulator, SurveyParameters, make_tag_table
+from repro.htm.depthmap import DensityMap
+from repro.query import QueryEngine
+from repro.storage import ContainerStore
+
+
+@pytest.fixture(scope="session")
+def bench_simulator():
+    """Medium catalog with ground-truth injections for the science benches."""
+    params = SurveyParameters(
+        n_galaxies=12000,
+        n_stars=8000,
+        n_quasars=400,
+        n_lens_pairs=15,
+        n_quasar_neighbor_pairs=15,
+        seed=987,
+    )
+    simulator = SkySimulator(params)
+    simulator.photo_table = simulator.generate()
+    return simulator
+
+
+@pytest.fixture(scope="session")
+def bench_photo(bench_simulator):
+    return bench_simulator.photo_table
+
+
+@pytest.fixture(scope="session")
+def bench_tags(bench_photo):
+    return make_tag_table(bench_photo)
+
+
+@pytest.fixture(scope="session")
+def bench_photo_store(bench_photo):
+    return ContainerStore.from_table(bench_photo, depth=6)
+
+
+@pytest.fixture(scope="session")
+def bench_tag_store(bench_tags):
+    return ContainerStore.from_table(bench_tags, depth=6)
+
+
+@pytest.fixture(scope="session")
+def bench_engine(bench_photo_store, bench_tag_store):
+    return QueryEngine({"photo": bench_photo_store, "tag": bench_tag_store})
+
+
+@pytest.fixture(scope="session")
+def bench_density(bench_photo):
+    return DensityMap.from_positions(bench_photo["ra"], bench_photo["dec"], 6)
+
+
+def print_table(title, headers, rows):
+    """Render a small aligned table into the captured stdout."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,126 @@
+"""Claim I1 — the container index accepts/rejects whole containers.
+
+Paper: *"They define the base of an index tree that tells us whether
+containers are fully inside, outside or bisected by our query.  Only the
+bisected container category is searched ... A prediction of the output
+data volume and search time can be computed from the intersection
+volume."*
+
+Measured: per-query container classification fractions at several query
+radii, the objects-scanned savings vs a full sweep, and the density-map
+prediction against the true result count.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.geometry.shapes import circle_region
+
+
+def test_bench_container_classification(benchmark, bench_photo, bench_photo_store):
+    benchmark(bench_photo_store.query_region, circle_region(185.0, 30.0, 2.0))
+    rows = []
+    for radius in (0.5, 2.0, 8.0, 30.0):
+        region = circle_region(185.0, 30.0, radius)
+        result, stats = bench_photo_store.query_region(region)
+        truth = int(region.contains(bench_photo.positions_xyz()).sum())
+        assert len(result) == truth  # exactness regardless of pruning
+        scanned_fraction = stats.objects_scanned() / max(len(bench_photo), 1)
+        rows.append(
+            (
+                f"{radius:.1f} deg",
+                stats.containers_accepted,
+                stats.containers_bisected,
+                stats.containers_rejected,
+                f"{scanned_fraction:.2%}",
+                truth,
+            )
+        )
+    print_table(
+        "Claim I1: container classification per cone radius "
+        f"(of {len(bench_photo_store)} occupied containers)",
+        ("radius", "accepted", "bisected", "rejected", "objects scanned", "rows out"),
+        rows,
+    )
+    # Small queries must reject almost everything.
+    assert float(rows[0][4].rstrip("%")) < 2.0
+
+
+def test_bench_pruning_savings(benchmark, bench_photo, bench_photo_store):
+    region = circle_region(185.0, 30.0, 3.0)
+
+    result, stats = benchmark(bench_photo_store.query_region, region)
+    full_result, full_stats = bench_photo_store.scan_all(
+        lambda t: region.contains(t.positions_xyz())
+    )
+    assert len(result) == len(full_result)
+
+    savings = full_stats.bytes_touched / max(stats.bytes_touched, 1)
+    print(f"\nindexed query touches {stats.bytes_touched / 1e6:.2f} MB vs "
+          f"full sweep {full_stats.bytes_touched / 1e6:.1f} MB "
+          f"({savings:.0f}x less I/O)")
+    assert savings > 20.0
+
+
+def test_bench_volume_prediction(benchmark, bench_photo, bench_density):
+    # "A prediction of the output data volume ... can be computed from
+    # the intersection volume."
+    benchmark.pedantic(
+        bench_density.estimate, args=(circle_region(185.0, 30.0, 3.0),),
+        rounds=2, iterations=1,
+    )
+    rows = []
+    for radius in (1.0, 3.0, 10.0):
+        region = circle_region(185.0, 30.0, radius)
+        estimate = bench_density.estimate(region)
+        truth = int(region.contains(bench_photo.positions_xyz()).sum())
+        rows.append(
+            (
+                f"{radius:.0f} deg",
+                estimate.objects_in_accepted,
+                f"{estimate.predicted_result_count:.0f}",
+                truth,
+                estimate.objects_scanned,
+            )
+        )
+        # The prediction brackets and approximates the truth.
+        assert estimate.objects_in_accepted <= truth <= estimate.objects_scanned
+        if truth > 50:
+            assert estimate.predicted_result_count == pytest.approx(truth, rel=0.4)
+    print_table(
+        "Claim I1: predicted vs actual result volume",
+        ("radius", "floor (accepted)", "predicted", "actual", "ceiling (scanned)"),
+        rows,
+    )
+
+
+def test_bench_depth_ablation(benchmark, bench_photo):
+    # DESIGN.md ablation: container depth trades cover cost against
+    # pruning precision.
+    from repro.storage.containers import ContainerStore
+
+    region = circle_region(185.0, 30.0, 3.0)
+    benchmark.pedantic(
+        ContainerStore.from_table, args=(bench_photo, 5), rounds=2, iterations=1
+    )
+    rows = []
+    for depth in (3, 5, 7):
+        store = ContainerStore.from_table(bench_photo, depth)
+        _result, stats = store.query_region(region)
+        rows.append(
+            (
+                depth,
+                len(store),
+                stats.objects_point_tested,
+                stats.objects_accepted_wholesale,
+            )
+        )
+    print_table(
+        "Ablation: container depth vs fine-filter work",
+        ("depth", "containers", "point-tested objects", "wholesale objects"),
+        rows,
+    )
+    # Deeper containers localize the query: fewer point tests needed.
+    point_tests = [r[2] for r in rows]
+    assert point_tests[-1] <= point_tests[0]

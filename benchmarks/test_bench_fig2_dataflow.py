@@ -1,0 +1,61 @@
+"""Figure 2 — the conceptual data flow of the SDSS archives.
+
+Simulates two years of nightly 20 GB chunks through T -> OA -> MSA -> LA
+-> public and regenerates the figure's latency annotations and the
+stage-residency series.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.archive.flow import PAPER_LATENCY_DAYS, ArchiveStage, DataFlowSimulator
+
+
+def test_bench_fig2_flow(benchmark):
+    def simulate():
+        flow = DataFlowSimulator(daily_bytes=20_000_000_000)
+        flow.observe(730)
+        return flow
+
+    flow = benchmark(simulate)
+
+    print_table(
+        "Figure 2: stage-entry latencies",
+        ("stage", "days after observation", "paper annotation"),
+        [
+            ("T", 0, "(observation)"),
+            ("OA", PAPER_LATENCY_DAYS[ArchiveStage.OPERATIONAL], "1 day"),
+            ("MSA", PAPER_LATENCY_DAYS[ArchiveStage.MASTER_SCIENCE], "1-2 weeks"),
+            ("LA", PAPER_LATENCY_DAYS[ArchiveStage.LOCAL], "2 weeks-1 month"),
+            ("PA", PAPER_LATENCY_DAYS[ArchiveStage.PUBLIC], "1-2 years"),
+        ],
+    )
+
+    rows = []
+    for day in (7, 30, 180, 365, 730):
+        residency = flow.bytes_per_stage(day)
+        rows.append(
+            (day,)
+            + tuple(f"{residency[s] / 1e12:.2f} TB" for s in ArchiveStage)
+            + (f"{flow.public_fraction(day) * 100:.0f}%",)
+        )
+    print_table(
+        "Figure 2: bytes resident per stage over time",
+        ("day", "T", "OA", "MSA", "LA", "PA", "public"),
+        rows,
+    )
+
+    # Shape assertions.
+    chunk = flow.chunks[0]
+    assert chunk.stage_on_day(1) == ArchiveStage.OPERATIONAL  # "1 day"
+    assert chunk.stage_on_day(14) == ArchiveStage.MASTER_SCIENCE  # "2 weeks"
+    assert 365 <= chunk.days_to_public() <= 730  # "1-2 years"
+    # Nothing public in year one; a majority public well into year two...
+    # (observation continues, so the fraction lags the first chunk).
+    assert flow.public_fraction(365) == 0.0
+    assert flow.public_fraction(730) > 0.2
+
+    # ~20 GB/day -> ~7.3 TB/yr of raw arrivals, consistent with the
+    # paper's 40 TB over 5+ years.
+    year_bytes = sum(c.nbytes for c in flow.chunks if c.observed_day < 365)
+    assert year_bytes == pytest.approx(365 * 20e9)

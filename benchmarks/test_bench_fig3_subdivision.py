@@ -1,0 +1,77 @@
+"""Figure 3 — the hierarchical subdivision of spherical triangles.
+
+Regenerates the quantitative content of the figure: 8 * 4^d trixels per
+depth, every level nested in the previous one, areas approximately equal
+and tiling the sphere exactly, quadtree ids.  Benchmarks the point
+location that the subdivision exists to serve.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.geometry.vector import random_unit_vectors
+from repro.htm.mesh import lookup_ids_from_vectors, trixel_count_at_depth, trixel_from_id
+from repro.htm.trixel import BASE_TRIXELS
+
+FULL_SPHERE_SR = 4.0 * math.pi
+
+
+def collect_level(trixels):
+    out = []
+    for t in trixels:
+        out.extend(t.children())
+    return out
+
+
+def test_bench_fig3_subdivision_structure(benchmark):
+    benchmark(collect_level, BASE_TRIXELS)
+    rows = []
+    level = list(BASE_TRIXELS)
+    for depth in range(0, 6):
+        areas = np.array([t.area_sr() for t in level])
+        rows.append(
+            (
+                depth,
+                len(level),
+                trixel_count_at_depth(depth),
+                f"{areas.sum() / FULL_SPHERE_SR:.6f}",
+                f"{areas.max() / areas.min():.3f}",
+            )
+        )
+        assert len(level) == trixel_count_at_depth(depth)
+        # The level tiles the sphere exactly.
+        assert areas.sum() == pytest.approx(FULL_SPHERE_SR, rel=1e-9)
+        if depth < 5:
+            level = collect_level(level)
+
+    print_table(
+        "Figure 3: quadtree levels of the octahedron subdivision",
+        ("depth", "trixels", "8*4^d", "sum(area)/4pi", "max/min area"),
+        rows,
+    )
+    # "approximately equal areas": the global spread stays bounded (the
+    # known HTM asymptotic max/min area ratio is ~2.1).
+    last_ratio = float(rows[-1][4])
+    assert last_ratio < 2.2
+
+
+def test_bench_fig3_nesting(benchmark):
+    # "each level is fully contained within the previous one"
+    parent = BASE_TRIXELS[2]
+    probe = random_unit_vectors(3000, rng=0)
+    inside_parent = benchmark(parent.contains, probe)
+    for child in parent.children():
+        inside_child = child.contains(probe)
+        assert bool(inside_parent[inside_child].all())
+
+
+def test_bench_fig3_point_location(benchmark):
+    points = random_unit_vectors(50000, rng=1)
+    ids = benchmark(lookup_ids_from_vectors, points, 10)
+    assert ids.shape == (50000,)
+    rate = 50000 / benchmark.stats["mean"]
+    print(f"\npoint location at depth 10: {rate:,.0f} objects/s "
+          "(the loader's phase-1 indexing rate)")

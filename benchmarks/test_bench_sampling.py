@@ -1,0 +1,68 @@
+"""Claim P1 — partitioning plus sampling: 2 TB to 2 GB.
+
+Paper: *"We also plan to offer a 1% sample (about 10 GB) of the whole
+database ... Combining partitioning and sampling converts a 2 TB data set
+into 2 gigabytes, which can fit comfortably on desktop workstations."*
+
+Measured: actual byte reductions of the tag partition, the 1% sample, and
+their combination, plus the paper-scale extrapolation.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.catalog.sampling import desktop_subset, sample_fraction
+from repro.catalog.tags import make_tag_table, tag_size_ratio
+
+
+def test_bench_reduction_ladder(benchmark, bench_photo, bench_tags):
+    benchmark(desktop_subset, bench_photo, 0.01, 1)
+    full_bytes = bench_photo.nbytes()
+    tag_bytes = bench_tags.nbytes()
+    sample = sample_fraction(bench_photo, 0.01, seed=1)
+    sample_bytes = sample.nbytes()
+    subset, factor = desktop_subset(bench_photo, fraction=0.01, seed=1)
+
+    rows = [
+        ("full catalog", f"{full_bytes / 1e6:.1f} MB", "1x"),
+        ("tag partition", f"{tag_bytes / 1e6:.2f} MB",
+         f"{full_bytes / tag_bytes:.0f}x"),
+        ("1% sample (full records)", f"{sample_bytes / 1e6:.2f} MB",
+         f"{full_bytes / max(sample_bytes, 1):.0f}x"),
+        ("1% sample of tags (desktop)", f"{subset.nbytes() / 1e3:.1f} kB",
+         f"{factor:.0f}x"),
+    ]
+    print_table("Claim P1: reduction ladder", ("dataset", "bytes", "reduction"), rows)
+
+    # The combined reduction is the product of its parts: ~10-15x (tags)
+    # times ~100x (1%) — three to four orders of magnitude, the paper's
+    # 2 TB -> 2 GB arithmetic.
+    assert 300 <= factor <= 10000
+
+    # Paper-scale extrapolation.
+    paper_full = 2e12
+    desktop_bytes = paper_full / tag_size_ratio() * 0.01
+    print(f"\npaper-scale: 2 TB -> {desktop_bytes / 1e9:.1f} GB on the desktop "
+          "(paper: ~2 GB)")
+    assert 0.5e9 <= desktop_bytes <= 5e9
+
+
+def test_bench_sample_preserves_statistics(benchmark, bench_photo):
+    # The sample must be usable for debugging: class fractions and
+    # magnitude distribution survive.
+    sample = benchmark(sample_fraction, bench_photo, 0.05, 2)
+    for code in (1, 2, 3):
+        full_fraction = float((bench_photo["objtype"] == code).mean())
+        sample_fraction_ = float((sample["objtype"] == code).mean())
+        assert sample_fraction_ == pytest.approx(full_fraction, abs=0.03)
+    assert float(np.median(sample["mag_r"])) == pytest.approx(
+        float(np.median(bench_photo["mag_r"])), abs=0.25
+    )
+
+
+def test_bench_sampling_throughput(benchmark, bench_photo):
+    sample = benchmark(sample_fraction, bench_photo, 0.01, 7)
+    assert 0 < len(sample) < len(bench_photo)
+    rate = len(bench_photo) / benchmark.stats["mean"]
+    print(f"\nsampling rate: {rate:,.0f} objects/s")

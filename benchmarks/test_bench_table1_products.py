@@ -1,0 +1,56 @@
+"""Table 1 — Sizes of various SDSS datasets.
+
+Regenerates the paper's product-size table from the record-size model and
+checks every modeled total against the published column (same order of
+magnitude; most rows within tens of percent).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.archive.products import PAPER_TABLE1, ProductModel
+
+
+def test_bench_table1(benchmark):
+    model = ProductModel()
+    rows = benchmark(model.table1)
+
+    display = [
+        (
+            r["product"],
+            f"{r['items']:,}" if r["items"] else "-",
+            f"{r['modeled_bytes'] / 1e9:,.1f} GB",
+            f"{r['paper_bytes'] / 1e9:,.0f} GB",
+            f"{r['ratio']:.2f}",
+        )
+        for r in rows
+    ]
+    print_table(
+        "Table 1: SDSS data product sizes (modeled vs paper)",
+        ("product", "items", "modeled", "paper", "ratio"),
+        display,
+    )
+
+    # Shape assertions: every product within 3x; most within 2x; the
+    # fixed-media products exact.
+    for r in rows:
+        assert 0.3 <= r["ratio"] <= 3.0, r["product"]
+    exact = {"Raw observational data", "Redshift Catalog", "Atlas Images",
+             "Compressed Sky Map"}
+    for r in rows:
+        if r["product"] in exact:
+            assert r["ratio"] == pytest.approx(1.0, rel=0.05)
+
+    # "these products are about 3 TB"
+    total = model.total_published_bytes()
+    print(f"total published products: {total / 1e12:.2f} TB (paper: ~3 TB)")
+    assert 1.5e12 <= total <= 5e12
+
+
+def test_bench_measured_record_size(benchmark, bench_photo):
+    """Cross-check: the generated catalog's bytes/record equals the model's."""
+    measured = benchmark(ProductModel.measured_bytes_per_record, bench_photo)
+    assert measured == bench_photo.schema.record_nbytes()
+    print(f"\nmeasured full record: {measured:.0f} B "
+          f"(paper implies ~{400e9 / 3e8:.0f} B for ~500 attributes; "
+          "our schema models a subset)")

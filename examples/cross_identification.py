@@ -1,0 +1,79 @@
+"""Cross-identification and variable sources — the archive as reference catalog.
+
+The paper positions the SDSS as "the standard reference catalog for the
+next several decades": every later survey cross-identifies against it,
+and the repeatedly imaged southern stripes yield variable sources.  This
+example simulates a shallow external survey (FIRST/ROSAT-like: 1 arcsec
+astrometry, spurious detections), cross-matches it against the archive,
+then detects injected variables from 12 epochs of repeat imaging.
+
+Run:  python examples/cross_identification.py
+"""
+
+import numpy as np
+
+from repro import SkySimulator, SurveyParameters
+from repro.science import crossmatch, detect_variables, light_curve_statistics
+
+
+def main():
+    simulator = SkySimulator(
+        SurveyParameters(n_galaxies=12000, n_stars=8000, n_quasars=400, seed=60)
+    )
+    photo = simulator.generate()
+    print(f"reference catalog: {len(photo)} objects")
+
+    # --- external survey cross-identification ---------------------------
+    external = simulator.generate_external_survey(
+        photo,
+        detection_fraction=0.15,
+        astrometric_error_arcsec=1.2,
+        spurious_fraction=0.06,
+    )
+    truth = simulator.ground_truth.external_matches
+    print(f"\nexternal survey: {len(external)} detections "
+          f"({len(truth)} real, {len(external) - len(truth)} spurious)")
+
+    result = crossmatch(external, photo, radius_arcsec=5.0)
+    identified = {e: o for e, o, _s in result.identification_table(external, photo)}
+    correct = sum(1 for e, o in truth.items() if identified.get(e) == o)
+    print(f"cross-match within 5\": {result.match_count()} identifications, "
+          f"{correct}/{len(truth)} truth pairs correct, "
+          f"{len(result.unmatched_external_rows)} unmatched, "
+          f"{len(result.ambiguous_external_rows)} ambiguous")
+    mean_sep = float(np.mean(result.separations_arcsec))
+    print(f"mean match separation {mean_sep:.2f}\" "
+          f"(astrometric error was 1.2\")")
+
+    # --- variable sources from repeat imaging ---------------------------
+    epochs = simulator.generate_epochs(
+        photo, n_epochs=12, variable_fraction=0.02, amplitude_mag=0.7
+    )
+    print(f"\nrepeat imaging: {len(epochs)} measurements "
+          f"({12} epochs x {len(photo)} objects)")
+    variables, stats = detect_variables(epochs, chi2_threshold=5.0)
+    truth_v = set(simulator.ground_truth.variable_objids)
+    found_v = set(variables)
+    true_positives = truth_v & found_v
+    precision = len(true_positives) / max(len(found_v), 1)
+    print(f"chi2 detector: {len(found_v)} variables flagged "
+          f"(precision {precision:.2f}, "
+          f"recall {len(true_positives) / len(truth_v):.2f} overall)")
+
+    bright_truth = {
+        int(o) for o, m in zip(photo["objid"], photo["mag_r"])
+        if int(o) in truth_v and float(m) < 19.5
+    }
+    bright_found = bright_truth & found_v
+    print(f"bright (r < 19.5) variables: {len(bright_found)}/{len(bright_truth)} "
+          "recovered — faint ones drown in photometric noise, as expected")
+
+    flagged_rows = np.isin(stats.objids, sorted(found_v))
+    if flagged_rows.any():
+        amplitude = float(np.median(stats.amplitude[flagged_rows]))
+        print(f"median peak-to-peak amplitude of flagged sources: "
+              f"{amplitude:.2f} mag")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Gravitational-lens search with the hash machine.
+
+The paper's query: "find objects within 10 arcsec of each other which
+have identical colors, but may have a different brightness".  This
+example injects known lens pairs into the synthetic sky, finds them with
+the two-phase hash machine, verifies against both the injected ground
+truth and a naive O(n^2) search, and reports the work savings.
+
+Run:  python examples/gravitational_lenses.py
+"""
+
+import time
+
+from repro import SkySimulator, SurveyParameters
+from repro.science.lenses import find_lens_candidates, naive_lens_search
+
+
+def main():
+    params = SurveyParameters(
+        n_galaxies=15000,
+        n_stars=10000,
+        n_quasars=500,
+        n_lens_pairs=25,
+        seed=4242,
+    )
+    simulator = SkySimulator(params)
+    photo = simulator.generate()
+    truth = {
+        (min(a, b), max(a, b))
+        for a, b in simulator.ground_truth.lens_pair_objids
+    }
+    print(f"catalog: {len(photo)} objects, {len(truth)} injected lens pairs")
+
+    # Hash machine search.
+    started = time.perf_counter()
+    candidates, report = find_lens_candidates(
+        photo,
+        max_separation_arcsec=10.0,
+        color_tolerance=0.05,
+        min_magnitude_difference=0.1,
+    )
+    hash_seconds = time.perf_counter() - started
+    found = {(c.objid_a, c.objid_b) for c in candidates}
+
+    print(f"\nhash machine: {len(candidates)} candidates in {hash_seconds:.2f} s")
+    print(f"  buckets: {report.buckets}, edge-replicated objects: "
+          f"{report.objects_replicated}")
+    print(f"  pair comparisons: {report.comparisons} "
+          f"(naive would need {report.naive_comparisons}, "
+          f"{report.comparison_savings():.0f}x savings)")
+    print(f"  simulated cluster time: shuffle {report.simulated_shuffle_seconds:.1f} s "
+          f"+ scan {report.simulated_scan_seconds:.1f} s")
+
+    # Verify against injected truth and the naive reference.
+    recovered = truth & found
+    print(f"\nground truth recovered: {len(recovered)}/{len(truth)}")
+    started = time.perf_counter()
+    naive = set(naive_lens_search(photo, 10.0, 0.05, 0.1))
+    naive_seconds = time.perf_counter() - started
+    agreement = "exact" if naive == found else "MISMATCH"
+    print(f"naive O(n^2) search: {len(naive)} pairs in {naive_seconds:.2f} s "
+          f"-> agreement: {agreement}")
+
+    print("\nclosest candidates:")
+    for candidate in candidates[:5]:
+        marker = "injected" if (candidate.objid_a, candidate.objid_b) in truth else "field"
+        print(f"  {candidate.objid_a} + {candidate.objid_b}: "
+              f"sep {candidate.separation_arcsec:.2f}\" "
+              f"dcolor {candidate.color_distance:.3f} "
+              f"dmag {candidate.magnitude_difference:.2f} [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""The paper's non-local query: quasars with faint blue close neighbors.
+
+"Find all the quasars brighter than r=22, which have a faint blue galaxy
+within 5 arcsec on the sky."  Two routes to the same answer:
+
+1. the query engine narrows each side with indexed selections, and the
+   science-layer spatial join pairs them;
+2. the scan machine evaluates both predicates in a single shared sweep
+   (what the archive does when many astronomers queue such queries).
+
+Run:  python examples/quasar_neighbors.py
+"""
+
+from repro import ContainerStore, ScanMachine, ScanQuery, SkySimulator, SurveyParameters
+from repro.catalog.schema import ObjectType
+from repro.science import quasars_with_faint_blue_neighbors
+
+
+def main():
+    params = SurveyParameters(
+        n_galaxies=20000,
+        n_stars=12000,
+        n_quasars=600,
+        n_quasar_neighbor_pairs=20,
+        seed=777,
+    )
+    simulator = SkySimulator(params)
+    photo = simulator.generate()
+    truth = set(simulator.ground_truth.quasar_neighbor_objids)
+    print(f"catalog: {len(photo)} objects, {len(truth)} injected "
+          "quasar+neighbor configurations")
+
+    # Route 1: direct science operator (bucketed spatial join).
+    quasar_rows, galaxy_rows, separations = quasars_with_faint_blue_neighbors(
+        photo,
+        quasar_r_limit=22.0,
+        neighbor_radius_arcsec=5.0,
+        faint_r_min=21.0,
+        blue_gr_max=0.4,
+    )
+    found = {
+        (int(photo["objid"][q]), int(photo["objid"][g]))
+        for q, g in zip(quasar_rows, galaxy_rows)
+    }
+    print(f"\nspatial join found {len(found)} pairs; "
+          f"ground truth recovered {len(truth & found)}/{len(truth)}")
+    for (q, g), sep in list(zip(zip(quasar_rows, galaxy_rows), separations))[:5]:
+        print(f"  quasar {int(photo['objid'][q])} r={float(photo['mag_r'][q]):.2f} "
+              f"+ galaxy {int(photo['objid'][g])} r={float(photo['mag_r'][g]):.2f} "
+              f"at {sep:.2f}\"")
+
+    # Route 2: the scan machine serves both side-predicates in one sweep.
+    store = ContainerStore.from_table(photo, depth=6)
+    machine = ScanMachine(store)
+    quasar_query = ScanQuery(
+        "bright quasars",
+        lambda t: (t["objtype"] == ObjectType.QUASAR.value) & (t["mag_r"] < 22.0),
+    )
+    galaxy_query = ScanQuery(
+        "faint blue galaxies",
+        lambda t: (t["objtype"] == ObjectType.GALAXY.value)
+        & (t["mag_r"] >= 21.0)
+        & ((t["mag_g"] - t["mag_r"]) <= 0.4),
+    )
+    sweep = machine.run([quasar_query, galaxy_query])
+    print(f"\nscan machine swept {sweep.bytes_swept / 1e6:.1f} MB once for both "
+          f"queries (sharing factor {sweep.sharing_factor():.1f}x)")
+    print(f"  quasar side: {quasar_query.rows_matched} rows, "
+          f"galaxy side: {galaxy_query.rows_matched} rows")
+    print(f"  simulated sweep time on the paper's 20-node cluster: "
+          f"{sweep.simulated_seconds * 1e3:.2f} ms at this catalog size")
+
+    # The join of the two scan results must reproduce route 1.
+    quasars = quasar_query.result(photo.schema)
+    galaxies = galaxy_query.result(photo.schema)
+    from repro.science import neighbor_pairs
+
+    qi, gi, _sep = neighbor_pairs(quasars, galaxies, 5.0)
+    scan_found = {
+        (int(quasars["objid"][a]), int(galaxies["objid"][b]))
+        for a, b in zip(qi, gi)
+    }
+    print(f"\nscan-machine route agrees with direct route: {scan_found == found}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e .` cannot build a PEP-660 editable wheel.  `python
+setup.py develop` (or `pip install -e . --no-build-isolation` once wheel
+is available) achieves the same editable install through the legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro: a reproduction of the SDSS Science Archive design.
+
+"Designing and Mining Multi-Terabyte Astronomy Archives: The Sloan
+Digital Sky Survey" — Szalay, Kunszt, Thakar, Gray (SIGMOD 2000).
+
+Subpackages
+-----------
+``repro.geometry``
+    Cartesian unit-vector sky positions, half-space constraint algebra,
+    coordinate frames.
+``repro.htm``
+    The Hierarchical Triangular Mesh spatial index: trixels, id scheme,
+    coverage algorithm, density maps.
+``repro.catalog``
+    Schemas, synthetic SDSS-like sky generation, columnar tables, tag
+    objects, sampling.
+``repro.storage``
+    Clustering containers, server partitioning, replication, two-phase
+    bulk loading, the commodity-cluster I/O cost model.
+``repro.query``
+    The SQL-ish query language, Query Execution Trees, and the
+    multi-threaded ASAP-push engine.
+``repro.machines``
+    The scan machine (data pump), hash machine (spatial hash-join), and
+    river machine (dataflow graphs).
+``repro.science``
+    The paper's example science queries as first-class operations.
+``repro.archive``
+    Data-product size model (Table 1), the Figure-2 archive flow, and the
+    Operational Archive.
+``repro.interchange``
+    FITS binary/ASCII tables with blocked streaming, XML interchange,
+    schema-driven code generation.
+
+Quick start
+-----------
+>>> from repro import SkySimulator, SurveyParameters, ContainerStore, QueryEngine
+>>> from repro.catalog import make_tag_table
+>>> sim = SkySimulator(SurveyParameters(n_galaxies=10000))
+>>> photo = sim.generate()
+>>> engine = QueryEngine({
+...     "photo": ContainerStore.from_table(photo, depth=6),
+...     "tag": ContainerStore.from_table(make_tag_table(photo), depth=6),
+... })
+>>> result = engine.query_table(
+...     "SELECT objid, mag_r FROM photo "
+...     "WHERE CIRCLE(185.0, 30.0, 2.0) AND mag_r < 21 ORDER BY mag_r")
+"""
+
+from repro.catalog import (
+    ObjectTable,
+    PHOTO_SCHEMA,
+    SPECTRO_SCHEMA,
+    TAG_SCHEMA,
+    SkySimulator,
+    SurveyParameters,
+    make_tag_table,
+)
+from repro.geometry import (
+    Convex,
+    Halfspace,
+    Region,
+    circle_region,
+    latitude_band,
+    radec_to_vector,
+    vector_to_radec,
+)
+from repro.htm import RangeSet, cover_region, lookup_id, lookup_ids
+from repro.machines import HashMachine, RiverGraph, ScanMachine, ScanQuery
+from repro.query import QueryEngine, parse_query
+from repro.storage import ChunkLoader, ContainerStore, Partitioner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ObjectTable",
+    "PHOTO_SCHEMA",
+    "SPECTRO_SCHEMA",
+    "TAG_SCHEMA",
+    "SkySimulator",
+    "SurveyParameters",
+    "make_tag_table",
+    "Convex",
+    "Halfspace",
+    "Region",
+    "circle_region",
+    "latitude_band",
+    "radec_to_vector",
+    "vector_to_radec",
+    "RangeSet",
+    "cover_region",
+    "lookup_id",
+    "lookup_ids",
+    "HashMachine",
+    "RiverGraph",
+    "ScanMachine",
+    "ScanQuery",
+    "QueryEngine",
+    "parse_query",
+    "ChunkLoader",
+    "ContainerStore",
+    "Partitioner",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Archive lifecycle: data products, the Figure-2 flow, the Operational Archive.
+
+* :mod:`repro.archive.products` — the byte-accounting model behind
+  Table 1 ("Sizes of various SDSS datasets");
+* :mod:`repro.archive.flow` — the conceptual data flow of Figure 2
+  (telescope tapes -> Operational Archive -> Master Science Archive ->
+  Local Archives -> public archives, with the paper's latencies);
+* :mod:`repro.archive.operational` — the firewalled Operational Archive
+  with calibration method functions and publication to the Science
+  Archive.
+"""
+
+from repro.archive.products import DataProduct, ProductModel, PAPER_TABLE1
+from repro.archive.flow import ArchiveStage, DataFlowSimulator, ChunkRecord
+from repro.archive.operational import OperationalArchive, Calibration
+from repro.archive.skymap import SkyMap, SkyMapStats
+
+__all__ = [
+    "SkyMap",
+    "SkyMapStats",
+    "DataProduct",
+    "ProductModel",
+    "PAPER_TABLE1",
+    "ArchiveStage",
+    "DataFlowSimulator",
+    "ChunkRecord",
+    "OperationalArchive",
+    "Calibration",
+]

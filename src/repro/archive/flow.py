@@ -1,0 +1,131 @@
+"""The conceptual data flow of Figure 2.
+
+*"Telescope data (T) is shipped on tapes to FNAL, where it is processed
+into the Operational Archive (OA).  Calibrated data is transferred into
+the Master Science Archive (MSA) and then to Local Archives (LA).  The
+data gets into the public archives (MPA, PA) after approximately 1-2
+years of science verification."*
+
+The figure annotates stage-to-stage latencies: 1 day (T->OA), 1 week /
+2 weeks (OA->MSA), 2 weeks+ (MSA->LA), 1 month, 1-2 years (to public).
+:class:`DataFlowSimulator` pushes daily observation chunks through those
+stages on a simulated day clock and answers "how much data sits where on
+day N" and "when did chunk K become public" — the measurable form of the
+figure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ArchiveStage", "ChunkRecord", "DataFlowSimulator", "PAPER_LATENCY_DAYS"]
+
+
+class ArchiveStage(enum.Enum):
+    """The stages of Figure 2."""
+
+    TELESCOPE = "T"
+    OPERATIONAL = "OA"
+    MASTER_SCIENCE = "MSA"
+    LOCAL = "LA"
+    PUBLIC = "PA"
+
+
+#: Cumulative days from observation until the data *enters* each stage,
+#: following Figure 2's annotations (public entry uses 1.5 years).
+PAPER_LATENCY_DAYS = {
+    ArchiveStage.TELESCOPE: 0,
+    ArchiveStage.OPERATIONAL: 1,
+    ArchiveStage.MASTER_SCIENCE: 14,
+    ArchiveStage.LOCAL: 28,
+    ArchiveStage.PUBLIC: 548,
+}
+
+
+@dataclass
+class ChunkRecord:
+    """One nightly chunk moving through the archive."""
+
+    chunk_id: int
+    observed_day: int
+    nbytes: int
+    stage_entry_day: dict = field(default_factory=dict)
+
+    def stage_on_day(self, day):
+        """The most advanced stage this chunk has reached by ``day``."""
+        best = ArchiveStage.TELESCOPE
+        for stage in ArchiveStage:
+            entry = self.stage_entry_day.get(stage)
+            if entry is not None and entry <= day:
+                best = stage
+        return best
+
+    def days_to_public(self):
+        """Observation-to-public latency in days."""
+        return self.stage_entry_day[ArchiveStage.PUBLIC] - self.observed_day
+
+
+class DataFlowSimulator:
+    """Simulates Figure 2 over a span of observing days.
+
+    ``daily_bytes`` defaults to the paper's "about 20 GB will be arriving
+    daily".  ``latency_days`` can override the stage latencies (e.g. for
+    the 1-year vs 2-year verification ablation).
+    """
+
+    def __init__(self, daily_bytes=20_000_000_000, latency_days=None):
+        self.daily_bytes = int(daily_bytes)
+        self.latency_days = dict(latency_days or PAPER_LATENCY_DAYS)
+        if self.latency_days[ArchiveStage.TELESCOPE] != 0:
+            raise ValueError("telescope latency must be 0 (the observation itself)")
+        ordered = [self.latency_days[s] for s in ArchiveStage]
+        if ordered != sorted(ordered):
+            raise ValueError("stage latencies must be non-decreasing along the flow")
+        self.chunks = []
+
+    def observe(self, n_days):
+        """Record ``n_days`` of observations (one chunk per day)."""
+        start = len(self.chunks)
+        for day_offset in range(n_days):
+            chunk = ChunkRecord(
+                chunk_id=start + day_offset,
+                observed_day=start + day_offset,
+                nbytes=self.daily_bytes,
+            )
+            for stage in ArchiveStage:
+                chunk.stage_entry_day[stage] = (
+                    chunk.observed_day + self.latency_days[stage]
+                )
+            self.chunks.append(chunk)
+        return self.chunks[start:]
+
+    def bytes_per_stage(self, day):
+        """Bytes resident in each stage on a given day.
+
+        A chunk is counted at the most advanced stage it has reached
+        (data is *moved* forward, with replicas at LA counted there since
+        MSA->LA is replication, not migration).
+        """
+        totals = {stage: 0 for stage in ArchiveStage}
+        for chunk in self.chunks:
+            if chunk.observed_day > day:
+                continue
+            totals[chunk.stage_on_day(day)] += chunk.nbytes
+        return totals
+
+    def public_fraction(self, day):
+        """Fraction of observed bytes that are public on ``day``."""
+        observed = sum(c.nbytes for c in self.chunks if c.observed_day <= day)
+        if observed == 0:
+            return 0.0
+        public = sum(
+            c.nbytes
+            for c in self.chunks
+            if c.stage_entry_day[ArchiveStage.PUBLIC] <= day
+        )
+        return public / observed
+
+    def latency_series(self):
+        """(stage, cumulative days) rows — the Figure 2 annotation column."""
+        return [(stage.value, self.latency_days[stage]) for stage in ArchiveStage]

@@ -1,0 +1,53 @@
+"""Catalog data model and synthetic SDSS-like survey generation.
+
+The paper's archive stores a photometric catalog (~500 attributes for
+3x10^8 objects), a spectroscopic catalog, and derived products.  We model
+a faithful subset of the photometric schema (positions stored as
+Cartesian unit vectors, five SDSS bands u,g,r,i,z, shape and class
+attributes, observation provenance) plus the *tag object* vertical
+partition of the 10 most popular attributes the paper singles out:
+"3 Cartesian positions on the sky, 5 colors, 1 size, 1 classification
+parameter".
+
+Real SDSS data is not available offline, so :mod:`repro.catalog.skygen`
+synthesizes a sky with the statistical properties the archive design
+cares about: strong angular clustering (galaxies), a density gradient
+toward the galactic plane (stars), sparse quasars with UV-excess colors,
+and magnitude counts following the Euclidean number-count slope.
+"""
+
+from repro.catalog.schema import (
+    Field,
+    Schema,
+    PHOTO_SCHEMA,
+    TAG_SCHEMA,
+    SPECTRO_SCHEMA,
+    EXTERNAL_SCHEMA,
+    EPOCH_SCHEMA,
+    ObjectType,
+)
+from repro.catalog.atlas import AtlasStore, render_cutout
+from repro.catalog.table import ObjectTable
+from repro.catalog.skygen import SkySimulator, SurveyParameters
+from repro.catalog.tags import make_tag_table, TAG_ATTRIBUTES
+from repro.catalog.sampling import sample_fraction, stratified_sample
+
+__all__ = [
+    "Field",
+    "Schema",
+    "PHOTO_SCHEMA",
+    "TAG_SCHEMA",
+    "SPECTRO_SCHEMA",
+    "EXTERNAL_SCHEMA",
+    "EPOCH_SCHEMA",
+    "ObjectType",
+    "AtlasStore",
+    "render_cutout",
+    "ObjectTable",
+    "SkySimulator",
+    "SurveyParameters",
+    "make_tag_table",
+    "TAG_ATTRIBUTES",
+    "sample_fraction",
+    "stratified_sample",
+]

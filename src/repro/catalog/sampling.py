@@ -1,0 +1,67 @@
+"""Random subsets for desktop debugging.
+
+*"We also plan to offer a 1% sample (about 10 GB) of the whole database
+that can be used to quickly test and debug programs.  Combining
+partitioning and sampling converts a 2 TB data set into 2 gigabytes,
+which can fit comfortably on desktop workstations."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_fraction", "stratified_sample", "desktop_subset"]
+
+
+def sample_fraction(table, fraction, seed=0):
+    """Bernoulli sample of ``fraction`` of a table's rows.
+
+    Uses an independent coin per row (matching how a streaming archive
+    would publish a sample), so the returned size is binomial around
+    ``fraction * len(table)``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    mask = rng.uniform(size=len(table)) < fraction
+    return table.select(mask)
+
+
+def stratified_sample(table, fraction, strata_column, seed=0):
+    """Per-stratum exact sampling: each stratum contributes ``round(f*n)`` rows.
+
+    Guarantees rare classes (e.g. quasars) survive into small samples,
+    which a plain Bernoulli sample can lose entirely.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    strata = np.asarray(table[strata_column])
+    keep_indices = []
+    for value in np.unique(strata):
+        members = np.nonzero(strata == value)[0]
+        n_keep = int(round(fraction * members.shape[0]))
+        if members.shape[0] > 0:
+            n_keep = max(n_keep, 1)
+        chosen = rng.choice(members, size=min(n_keep, members.shape[0]), replace=False)
+        keep_indices.append(chosen)
+    if not keep_indices:
+        return table.take(np.empty(0, dtype=np.int64))
+    all_keep = np.sort(np.concatenate(keep_indices))
+    return table.take(all_keep)
+
+
+def desktop_subset(photo_table, fraction=0.01, seed=0):
+    """The paper's desktop combination: tag partition of a 1% sample.
+
+    Returns ``(subset_tag_table, reduction_factor)`` where the factor is
+    full-table bytes over subset bytes — the "2 TB -> 2 GB" arithmetic.
+    """
+    from repro.catalog.tags import make_tag_table
+
+    sampled = sample_fraction(photo_table, fraction, seed=seed)
+    tags = make_tag_table(sampled)
+    full_bytes = photo_table.nbytes()
+    subset_bytes = tags.nbytes()
+    factor = full_bytes / subset_bytes if subset_bytes else float("inf")
+    return tags, factor

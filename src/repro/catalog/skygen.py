@@ -1,0 +1,631 @@
+"""Synthetic SDSS-like sky survey generation.
+
+Real SDSS data cannot be shipped with this reproduction, so the generator
+manufactures catalogs with the *statistical geometry* the paper's archive
+design is built around:
+
+* **galaxies** are strongly clustered — a fraction of them are placed in
+  angular clusters (Gaussian blobs in the local tangent plane around
+  uniformly drawn centers), producing the "large density contrasts" of
+  [Csabai97] that stress the spatial index;
+* **stars** follow a density gradient toward the galactic plane,
+  ``density ~ exp(-|b|/scale)``, so star-dominated and galaxy-dominated
+  trixels coexist;
+* **quasars** are sparse, unclustered, and show the UV excess
+  (``u - g < 0.6``) their SDSS selection relies on;
+* magnitudes follow the Euclidean number-count slope
+  ``log10 N(<m) ~ 0.6 m`` truncated at the survey limit, and colors are
+  drawn from per-class loci so color-space predicates behave like real
+  queries;
+* optionally, **gravitational-lens pairs** (small separation, identical
+  colors, different brightness) and **quasar + faint blue neighbor**
+  configurations are injected so the paper's example queries have true
+  positives with known ground truth.
+
+Everything is generated vectorized from a seeded
+``numpy.random.Generator`` and is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.schema import (
+    BANDS,
+    EPOCH_SCHEMA,
+    EXTERNAL_SCHEMA,
+    PHOTO_SCHEMA,
+    SPECTRO_SCHEMA,
+    ObjectType,
+)
+from repro.catalog.table import ObjectTable
+from repro.catalog.units import ab_magnitude_error
+from repro.geometry.coords import GALACTIC
+from repro.geometry.region import Region
+from repro.geometry.vector import (
+    normalize,
+    radec_to_vector,
+    random_unit_vectors,
+    tangent_basis,
+    vector_to_radec,
+)
+from repro.htm.mesh import lookup_ids_from_vectors
+
+__all__ = ["SurveyParameters", "SkySimulator", "GroundTruth"]
+
+#: Default HTM depth at which htmid is stored in generated catalogs.
+DEFAULT_INDEX_DEPTH = 10
+
+
+@dataclass
+class SurveyParameters:
+    """Knobs of the synthetic survey.
+
+    The defaults produce a quick laptop-scale catalog; benchmarks scale
+    ``n_galaxies``/``n_stars`` up as needed.
+    """
+
+    n_galaxies: int = 20000
+    n_stars: int = 15000
+    n_quasars: int = 500
+    #: Footprint region (None = whole sky). SDSS-like runs use a cap.
+    footprint: Region | None = None
+    #: Fraction of galaxies placed inside angular clusters.
+    clustered_fraction: float = 0.45
+    #: Mean cluster richness (members per cluster).
+    cluster_richness: float = 40.0
+    #: Angular scale of a cluster in arcminutes (Gaussian sigma).
+    cluster_scale_arcmin: float = 3.0
+    #: r-band limiting magnitude of the photometric survey.
+    r_limit: float = 22.5
+    #: Brightest magnitude generated.
+    r_bright: float = 14.0
+    #: Exponential scale (degrees of galactic latitude) of star density.
+    star_latitude_scale_deg: float = 25.0
+    #: Number of injected gravitational-lens pairs (ground truth).
+    n_lens_pairs: int = 0
+    #: Number of injected quasar + faint blue galaxy configurations.
+    n_quasar_neighbor_pairs: int = 0
+    #: HTM depth for the stored htmid column.
+    index_depth: int = DEFAULT_INDEX_DEPTH
+    seed: int = 20000601
+
+
+@dataclass
+class GroundTruth:
+    """Objids of injected configurations, for verifying science queries."""
+
+    lens_pair_objids: list = field(default_factory=list)
+    quasar_neighbor_objids: list = field(default_factory=list)
+    #: extid -> objid for real detections in the external survey
+    external_matches: dict = field(default_factory=dict)
+    #: objids of injected variable sources in the epoch data
+    variable_objids: list = field(default_factory=list)
+
+
+class SkySimulator:
+    """Generates photometric and spectroscopic catalogs."""
+
+    def __init__(self, params=None):
+        self.params = params or SurveyParameters()
+        self._rng = np.random.default_rng(self.params.seed)
+        self.ground_truth = GroundTruth()
+
+    # ------------------------------------------------------------------
+    # position sampling
+    # ------------------------------------------------------------------
+
+    def _uniform_positions(self, n):
+        """n unit vectors uniform over the footprint (rejection sampled)."""
+        footprint = self.params.footprint
+        if n == 0:
+            return np.empty((0, 3))
+        if footprint is None:
+            return random_unit_vectors(n, rng=self._rng)
+        chunks = []
+        needed = n
+        # Rejection sampling with a growing batch to amortize tiny footprints.
+        batch = max(4 * n, 1024)
+        while needed > 0:
+            candidates = random_unit_vectors(batch, rng=self._rng)
+            kept = candidates[footprint.contains(candidates)]
+            if kept.shape[0] > needed:
+                kept = kept[:needed]
+            if kept.shape[0]:
+                chunks.append(kept)
+                needed -= kept.shape[0]
+            batch = min(batch * 2, 1 << 22)
+        return np.concatenate(chunks, axis=0)
+
+    def _clustered_positions(self, n):
+        """Positions for clustered galaxies: Gaussian blobs on the sphere."""
+        if n == 0:
+            return np.empty((0, 3))
+        richness = max(1.0, self.params.cluster_richness)
+        n_clusters = max(1, int(round(n / richness)))
+        centers = self._uniform_positions(n_clusters)
+        assignments = self._rng.integers(0, n_clusters, size=n)
+        sigma_rad = math.radians(self.params.cluster_scale_arcmin / 60.0)
+        offsets_a = self._rng.normal(0.0, sigma_rad, size=n)
+        offsets_b = self._rng.normal(0.0, sigma_rad, size=n)
+        positions = np.empty((n, 3))
+        for cluster_index in range(n_clusters):
+            members = np.nonzero(assignments == cluster_index)[0]
+            if members.size == 0:
+                continue
+            center = centers[cluster_index]
+            east, north = tangent_basis(center)
+            displaced = (
+                center[None, :]
+                + offsets_a[members, None] * east[None, :]
+                + offsets_b[members, None] * north[None, :]
+            )
+            positions[members] = normalize(displaced)
+        return positions
+
+    def _star_positions(self, n):
+        """Stars: uniform draws thinned toward high galactic latitude."""
+        if n == 0:
+            return np.empty((0, 3))
+        scale = self.params.star_latitude_scale_deg
+        chunks = []
+        needed = n
+        batch = max(4 * n, 1024)
+        while needed > 0:
+            candidates = self._uniform_positions(batch)
+            _, b_lat = GALACTIC.lonlat(candidates)
+            b_lat = np.atleast_1d(b_lat)
+            acceptance = 0.15 + 0.85 * np.exp(-np.abs(b_lat) / scale)
+            kept = candidates[self._rng.uniform(size=candidates.shape[0]) < acceptance]
+            if kept.shape[0] > needed:
+                kept = kept[:needed]
+            if kept.shape[0]:
+                chunks.append(kept)
+                needed -= kept.shape[0]
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    # photometry sampling
+    # ------------------------------------------------------------------
+
+    def _number_count_mags(self, n, slope=0.6):
+        """r magnitudes from ``log10 N(<m) ~ slope * m`` via inverse CDF."""
+        bright, faint = self.params.r_bright, self.params.r_limit
+        u = self._rng.uniform(size=n)
+        k = slope * math.log(10.0)
+        # CDF(m) = (e^{k m} - e^{k b}) / (e^{k f} - e^{k b})
+        exp_b, exp_f = math.exp(k * bright), math.exp(k * faint)
+        return np.log(u * (exp_f - exp_b) + exp_b) / k
+
+    def _galaxy_colors(self, n):
+        """(u-g, g-r, r-i, i-z) for galaxies: red sequence + blue cloud."""
+        is_red = self._rng.uniform(size=n) < 0.4
+        g_r = np.where(
+            is_red,
+            self._rng.normal(0.85, 0.08, size=n),
+            self._rng.normal(0.45, 0.12, size=n),
+        )
+        u_g = np.where(
+            is_red,
+            self._rng.normal(1.7, 0.15, size=n),
+            self._rng.normal(1.2, 0.25, size=n),
+        )
+        r_i = self._rng.normal(0.40, 0.08, size=n)
+        i_z = self._rng.normal(0.33, 0.08, size=n)
+        return u_g, g_r, r_i, i_z
+
+    def _star_colors(self, n):
+        """Stellar locus: one latent temperature parameter drives all colors."""
+        t = self._rng.beta(2.0, 2.0, size=n)  # 0 = hot/blue, 1 = cool/red
+        u_g = 0.7 + 2.2 * t + self._rng.normal(0.0, 0.05, size=n)
+        g_r = 0.1 + 1.3 * t + self._rng.normal(0.0, 0.04, size=n)
+        r_i = 0.0 + 0.9 * t + self._rng.normal(0.0, 0.04, size=n)
+        i_z = 0.0 + 0.5 * t + self._rng.normal(0.0, 0.04, size=n)
+        return u_g, g_r, r_i, i_z
+
+    def _quasar_colors(self, n):
+        """Quasars: UV excess (u-g < 0.6), nearly flat optical colors."""
+        u_g = self._rng.normal(0.15, 0.15, size=n)
+        g_r = self._rng.normal(0.20, 0.10, size=n)
+        r_i = self._rng.normal(0.15, 0.10, size=n)
+        i_z = self._rng.normal(0.10, 0.10, size=n)
+        return u_g, g_r, r_i, i_z
+
+    # ------------------------------------------------------------------
+    # catalog assembly
+    # ------------------------------------------------------------------
+
+    def generate(self):
+        """Generate the photometric catalog as an :class:`ObjectTable`.
+
+        Injected ground-truth configurations (lens pairs, quasar
+        neighbors) are appended last and recorded in
+        :attr:`ground_truth`.
+        """
+        params = self.params
+        pieces = []
+
+        n_clustered = int(round(params.n_galaxies * params.clustered_fraction))
+        n_field = params.n_galaxies - n_clustered
+        galaxy_xyz = np.concatenate(
+            [self._clustered_positions(n_clustered), self._uniform_positions(n_field)],
+            axis=0,
+        )
+        pieces.append((galaxy_xyz, ObjectType.GALAXY))
+        pieces.append((self._star_positions(params.n_stars), ObjectType.STAR))
+        pieces.append((self._uniform_positions(params.n_quasars), ObjectType.QUASAR))
+
+        xyz = np.concatenate([p[0] for p in pieces], axis=0)
+        objtype = np.concatenate(
+            [np.full(p[0].shape[0], p[1].value, dtype=np.uint8) for p in pieces]
+        )
+        table = self._assemble(xyz, objtype)
+        table = self._inject_ground_truth(table)
+        return table
+
+    def _assemble(self, xyz, objtype):
+        """Fill every PHOTO_SCHEMA column for the given positions/classes."""
+        n = xyz.shape[0]
+        rng = self._rng
+        data = np.zeros(n, dtype=PHOTO_SCHEMA.numpy_dtype())
+
+        ra, dec = vector_to_radec(xyz)
+        ra = np.atleast_1d(ra)
+        dec = np.atleast_1d(dec)
+        data["objid"] = np.arange(1, n + 1, dtype=np.int64)
+        data["ra"] = ra
+        data["dec"] = dec
+        data["cx"], data["cy"], data["cz"] = xyz[:, 0], xyz[:, 1], xyz[:, 2]
+        data["htmid"] = lookup_ids_from_vectors(xyz, self.params.index_depth)
+        data["objtype"] = objtype
+        data["run"] = rng.integers(100, 2000, size=n)
+        data["camcol"] = rng.integers(1, 7, size=n)
+        data["field"] = rng.integers(1, 800, size=n)
+        data["mjd"] = rng.uniform(51000.0, 52000.0, size=n)
+        data["flags"] = rng.integers(0, 1 << 16, size=n).astype(np.uint64)
+
+        # r magnitudes per class, then colors define the other bands.
+        r_mag = np.empty(n)
+        u_g = np.empty(n)
+        g_r = np.empty(n)
+        r_i = np.empty(n)
+        i_z = np.empty(n)
+        for code, color_fn, slope in (
+            (ObjectType.GALAXY.value, self._galaxy_colors, 0.6),
+            (ObjectType.STAR.value, self._star_colors, 0.35),
+            (ObjectType.QUASAR.value, self._quasar_colors, 0.5),
+        ):
+            mask = objtype == code
+            count = int(np.count_nonzero(mask))
+            if count == 0:
+                continue
+            r_mag[mask] = self._number_count_mags(count, slope=slope)
+            cu, cg, cr, cz_ = color_fn(count)
+            u_g[mask], g_r[mask], r_i[mask], i_z[mask] = cu, cg, cr, cz_
+
+        mags = {
+            "r": r_mag,
+            "g": r_mag + g_r,
+            "u": r_mag + g_r + u_g,
+            "i": r_mag - r_i,
+            "z": r_mag - r_i - i_z,
+        }
+        for band in BANDS:
+            mag = mags[band]
+            err = ab_magnitude_error(mag)
+            data[f"mag_{band}"] = mag
+            data[f"mag_err_{band}"] = err
+            noise = rng.normal(0.0, 1.0, size=n)
+            data[f"psf_mag_{band}"] = mag + err * noise
+            # Extended objects are brighter in Petrosian than PSF apertures.
+            extended = (objtype == ObjectType.GALAXY.value).astype(np.float64)
+            data[f"petro_mag_{band}"] = mag - 0.1 * extended + err * rng.normal(0.0, 1.0, size=n)
+            data[f"extinction_{band}"] = rng.uniform(0.01, 0.15, size=n)
+
+        is_galaxy = objtype == ObjectType.GALAXY.value
+        is_star = objtype == ObjectType.STAR.value
+        size = np.where(
+            is_galaxy,
+            rng.lognormal(mean=0.9, sigma=0.5, size=n),
+            rng.normal(1.4, 0.05, size=n),  # PSF-dominated point sources
+        )
+        data["petro_r50"] = np.clip(size, 0.5, 60.0)
+        data["petro_r90"] = data["petro_r50"] * rng.uniform(2.0, 3.2, size=n)
+        data["sky"] = rng.normal(1.0, 0.05, size=n)
+        data["airmass"] = rng.uniform(1.0, 1.6, size=n)
+        data["rowc"] = rng.uniform(0.0, 2048.0, size=n)
+        data["colc"] = rng.uniform(0.0, 2048.0, size=n)
+
+        # Radial profiles: exponential falloff scaled by total flux.
+        annuli = np.arange(15, dtype=np.float64)
+        flux_scale = np.power(10.0, 0.4 * (22.5 - r_mag))
+        profile_shape = np.exp(-annuli / 3.0)
+        base_profile = flux_scale[:, None] * profile_shape[None, :]
+        for band_index in range(5):
+            band_factor = rng.uniform(0.7, 1.3, size=(n, 1))
+            data["prof_mean"][:, band_index, :] = base_profile * band_factor
+            data["prof_err"][:, band_index, :] = (
+                0.05 * base_profile * band_factor + 0.01
+            )
+        data["texture"] = rng.uniform(0.0, 1.0, size=(n, 5))
+        data["star_likelihood"] = np.where(is_star, rng.uniform(0.6, 1.0, n), rng.uniform(0.0, 0.4, n))
+        data["exp_likelihood"] = np.where(is_galaxy, rng.uniform(0.3, 1.0, n), rng.uniform(0.0, 0.3, n))
+        data["dev_likelihood"] = np.where(is_galaxy, rng.uniform(0.3, 1.0, n), rng.uniform(0.0, 0.3, n))
+
+        return ObjectTable(PHOTO_SCHEMA, data)
+
+    # ------------------------------------------------------------------
+    # ground-truth injections
+    # ------------------------------------------------------------------
+
+    def _inject_ground_truth(self, table):
+        """Append lens pairs and quasar-neighbor pairs with known objids."""
+        params = self.params
+        extra_tables = []
+        next_objid = int(table["objid"].max()) + 1 if len(table) else 1
+
+        if params.n_lens_pairs > 0:
+            lens_table, next_objid = self._make_lens_pairs(
+                params.n_lens_pairs, next_objid
+            )
+            extra_tables.append(lens_table)
+        if params.n_quasar_neighbor_pairs > 0:
+            qn_table, next_objid = self._make_quasar_neighbors(
+                params.n_quasar_neighbor_pairs, next_objid
+            )
+            extra_tables.append(qn_table)
+
+        for extra in extra_tables:
+            table = table.concat(extra)
+        return table
+
+    def _make_lens_pairs(self, n_pairs, next_objid):
+        """Pairs within 10 arcsec, identical colors, different brightness.
+
+        This is the paper's gravitational-lens query verbatim: "find
+        objects within 10 arcsec of each other which have identical
+        colors, but may have a different brightness".
+        """
+        rng = self._rng
+        centers = self._uniform_positions(n_pairs)
+        separations_arcsec = rng.uniform(2.0, 8.0, size=n_pairs)
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=n_pairs)
+
+        primary = centers
+        secondary = np.empty_like(centers)
+        for k in range(n_pairs):
+            east, north = tangent_basis(centers[k])
+            offset_rad = math.radians(separations_arcsec[k] / 3600.0)
+            direction = math.cos(angles[k]) * east + math.sin(angles[k]) * north
+            secondary[k] = normalize(centers[k] + offset_rad * direction)
+
+        xyz = np.concatenate([primary, secondary], axis=0)
+        objtype = np.full(2 * n_pairs, ObjectType.QUASAR.value, dtype=np.uint8)
+        pair_table = self._assemble(xyz, objtype)
+
+        # Force identical colors within each pair; offset the brightness.
+        data = pair_table.data
+        delta_mag = rng.uniform(0.3, 1.5, size=n_pairs)
+        for band in BANDS:
+            col = f"mag_{band}"
+            data[col][n_pairs:] = data[col][:n_pairs] + delta_mag
+        data["objid"] = np.arange(next_objid, next_objid + 2 * n_pairs, dtype=np.int64)
+        pairs = [
+            (int(data["objid"][k]), int(data["objid"][k + n_pairs]))
+            for k in range(n_pairs)
+        ]
+        self.ground_truth.lens_pair_objids.extend(pairs)
+        return ObjectTable(PHOTO_SCHEMA, data), next_objid + 2 * n_pairs
+
+    def _make_quasar_neighbors(self, n_pairs, next_objid):
+        """Bright quasars with a faint blue galaxy within 5 arcsec.
+
+        The paper's non-local query: "find all the quasars brighter than
+        r=22, which have a faint blue galaxy within 5 arcsec on the sky".
+        """
+        rng = self._rng
+        centers = self._uniform_positions(n_pairs)
+        separations_arcsec = rng.uniform(1.0, 4.5, size=n_pairs)
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=n_pairs)
+        neighbors = np.empty_like(centers)
+        for k in range(n_pairs):
+            east, north = tangent_basis(centers[k])
+            offset_rad = math.radians(separations_arcsec[k] / 3600.0)
+            direction = math.cos(angles[k]) * east + math.sin(angles[k]) * north
+            neighbors[k] = normalize(centers[k] + offset_rad * direction)
+
+        xyz = np.concatenate([centers, neighbors], axis=0)
+        objtype = np.concatenate(
+            [
+                np.full(n_pairs, ObjectType.QUASAR.value, dtype=np.uint8),
+                np.full(n_pairs, ObjectType.GALAXY.value, dtype=np.uint8),
+            ]
+        )
+        pair_table = self._assemble(xyz, objtype)
+        data = pair_table.data
+
+        # Quasar brighter than r = 22; galaxy faint and blue (g - r < 0.4).
+        quasar_r = rng.uniform(18.0, 21.5, size=n_pairs)
+        galaxy_r = rng.uniform(21.0, self.params.r_limit, size=n_pairs)
+        galaxy_gr = rng.uniform(0.05, 0.35, size=n_pairs)
+        data["mag_r"][:n_pairs] = quasar_r
+        data["mag_g"][:n_pairs] = quasar_r + 0.2
+        data["mag_r"][n_pairs:] = galaxy_r
+        data["mag_g"][n_pairs:] = galaxy_r + galaxy_gr
+        data["objid"] = np.arange(next_objid, next_objid + 2 * n_pairs, dtype=np.int64)
+        pairs = [
+            (int(data["objid"][k]), int(data["objid"][k + n_pairs]))
+            for k in range(n_pairs)
+        ]
+        self.ground_truth.quasar_neighbor_objids.extend(pairs)
+        return ObjectTable(PHOTO_SCHEMA, data), next_objid + 2 * n_pairs
+
+    # ------------------------------------------------------------------
+    # external survey (cross-identification substrate)
+    # ------------------------------------------------------------------
+
+    def generate_external_survey(
+        self,
+        photo_table,
+        detection_fraction=0.10,
+        astrometric_error_arcsec=1.0,
+        spurious_fraction=0.05,
+        r_detect_limit=20.0,
+    ):
+        """A shallow FIRST/ROSAT-like catalog overlapping the survey.
+
+        A random ``detection_fraction`` of the photometric objects
+        brighter than ``r_detect_limit`` are re-detected with Gaussian
+        positional scatter of ``astrometric_error_arcsec``; a further
+        ``spurious_fraction`` (of the detection count) of unrelated
+        sources is added.  True extid -> objid matches are recorded in
+        :attr:`ground_truth`.
+        """
+        rng = self._rng
+        eligible = np.nonzero(np.asarray(photo_table["mag_r"]) < r_detect_limit)[0]
+        n_detected = int(round(detection_fraction * eligible.shape[0]))
+        detected_rows = rng.choice(eligible, size=n_detected, replace=False)
+        n_spurious = int(round(spurious_fraction * max(n_detected, 1)))
+
+        xyz = photo_table.positions_xyz()[detected_rows]
+        error_rad = math.radians(astrometric_error_arcsec / 3600.0)
+        scattered = np.empty_like(xyz)
+        offsets_a = rng.normal(0.0, error_rad, size=n_detected)
+        offsets_b = rng.normal(0.0, error_rad, size=n_detected)
+        for k in range(n_detected):
+            east, north = tangent_basis(xyz[k])
+            scattered[k] = normalize(
+                xyz[k] + offsets_a[k] * east + offsets_b[k] * north
+            )
+        spurious_xyz = self._uniform_positions(n_spurious)
+        all_xyz = np.concatenate([scattered, spurious_xyz], axis=0)
+        n = all_xyz.shape[0]
+
+        data = np.zeros(n, dtype=EXTERNAL_SCHEMA.numpy_dtype())
+        data["extid"] = np.arange(1, n + 1, dtype=np.int64)
+        ra, dec = vector_to_radec(all_xyz)
+        data["ra"] = np.atleast_1d(ra)
+        data["dec"] = np.atleast_1d(dec)
+        data["cx"], data["cy"], data["cz"] = (
+            all_xyz[:, 0], all_xyz[:, 1], all_xyz[:, 2],
+        )
+        # External flux loosely tracks optical brightness for detections.
+        r_mag = np.asarray(photo_table["mag_r"])[detected_rows]
+        data["flux"][:n_detected] = np.power(10.0, 0.3 * (20.0 - r_mag)) * rng.lognormal(
+            0.0, 0.3, size=n_detected
+        )
+        data["flux"][n_detected:] = rng.lognormal(0.0, 1.0, size=n_spurious)
+        data["pos_err"] = astrometric_error_arcsec
+
+        objids = np.asarray(photo_table["objid"])[detected_rows]
+        self.ground_truth.external_matches = {
+            int(extid): int(objid)
+            for extid, objid in zip(data["extid"][:n_detected], objids)
+        }
+        return ObjectTable(EXTERNAL_SCHEMA, data)
+
+    # ------------------------------------------------------------------
+    # repeat imaging epochs (variable-source substrate)
+    # ------------------------------------------------------------------
+
+    def generate_epochs(
+        self,
+        photo_table,
+        n_epochs=10,
+        variable_fraction=0.02,
+        amplitude_mag=0.6,
+        cadence_days=30.0,
+    ):
+        """Repeat-imaging measurements of every object over ``n_epochs``.
+
+        A random ``variable_fraction`` of objects varies sinusoidally
+        with semi-amplitude up to ``amplitude_mag``; every measurement
+        carries photometric noise from the survey error model.  Variable
+        objids are recorded in :attr:`ground_truth`.
+
+        Returns one :class:`ObjectTable` of EPOCH_SCHEMA rows (n_objects
+        x n_epochs measurements).
+        """
+        rng = self._rng
+        n_objects = len(photo_table)
+        objids = np.asarray(photo_table["objid"], dtype=np.int64)
+        base_mag = np.asarray(photo_table["mag_r"], dtype=np.float64)
+        base_err = ab_magnitude_error(base_mag)
+
+        n_variable = int(round(variable_fraction * n_objects))
+        variable_rows = rng.choice(n_objects, size=n_variable, replace=False)
+        amplitudes = np.zeros(n_objects)
+        # Keep injected variability well above the noise floor so recall
+        # is a property of the detector, not of luck.
+        amplitudes[variable_rows] = rng.uniform(
+            amplitude_mag * 0.5, amplitude_mag, size=n_variable
+        )
+        periods = rng.uniform(2.0, 20.0 * cadence_days, size=n_objects)
+        phases = rng.uniform(0.0, 2.0 * math.pi, size=n_objects)
+        self.ground_truth.variable_objids = sorted(
+            int(objids[r]) for r in variable_rows
+        )
+
+        rows = np.zeros(n_objects * n_epochs, dtype=EPOCH_SCHEMA.numpy_dtype())
+        mjd0 = 51000.0
+        for epoch in range(n_epochs):
+            sl = slice(epoch * n_objects, (epoch + 1) * n_objects)
+            mjd = mjd0 + epoch * cadence_days
+            signal = amplitudes * np.sin(2.0 * math.pi * mjd / periods + phases)
+            noise = rng.normal(0.0, base_err)
+            rows["objid"][sl] = objids
+            rows["epoch"][sl] = epoch
+            rows["mjd"][sl] = mjd
+            rows["mag_r"][sl] = base_mag + signal + noise
+            rows["mag_err_r"][sl] = base_err
+        return ObjectTable(EPOCH_SCHEMA, rows)
+
+    # ------------------------------------------------------------------
+    # spectroscopic catalog
+    # ------------------------------------------------------------------
+
+    def generate_spectroscopic(self, photo_table, n_targets=None):
+        """Spectroscopic catalog for the brightest eligible photo objects.
+
+        Mirrors the paper's target selection: mostly galaxies by an r-band
+        magnitude limit, plus quasar candidates.  Redshifts come from
+        class-appropriate toy distributions.
+        """
+        rng = self._rng
+        objtype = photo_table["objtype"]
+        r_mag = photo_table["mag_r"]
+        eligible = (objtype == ObjectType.GALAXY.value) | (
+            objtype == ObjectType.QUASAR.value
+        )
+        order = np.argsort(np.where(eligible, r_mag, np.inf))
+        n_eligible = int(np.count_nonzero(eligible))
+        if n_targets is None:
+            n_targets = max(1, n_eligible // 10)
+        n_targets = min(n_targets, n_eligible)
+        chosen = order[:n_targets]
+
+        data = np.zeros(n_targets, dtype=SPECTRO_SCHEMA.numpy_dtype())
+        data["specid"] = np.arange(1, n_targets + 1, dtype=np.int64)
+        data["objid"] = photo_table["objid"][chosen]
+        data["ra"] = photo_table["ra"][chosen]
+        data["dec"] = photo_table["dec"][chosen]
+        data["objtype"] = objtype[chosen]
+        is_quasar = data["objtype"] == ObjectType.QUASAR.value
+        n_quasar = int(np.count_nonzero(is_quasar))
+        n_galaxy = n_targets - n_quasar
+        galaxy_z = rng.lognormal(mean=math.log(0.10), sigma=0.45, size=n_galaxy)
+        quasar_z = rng.uniform(0.3, 4.5, size=n_quasar)
+        z_values = np.empty(n_targets)
+        z_values[~is_quasar] = np.clip(galaxy_z, 0.001, 0.5)
+        z_values[is_quasar] = quasar_z
+        data["z"] = z_values
+        data["z_err"] = np.abs(rng.normal(1e-4, 5e-5, size=n_targets)) + 1e-5
+        data["fiber"] = rng.integers(1, 641, size=n_targets)
+        data["tile"] = rng.integers(1, 400, size=n_targets)
+        data["sn_median"] = rng.uniform(4.0, 40.0, size=n_targets)
+        data["line_flux"] = rng.lognormal(1.0, 0.8, size=(n_targets, 8))
+        data["line_ew"] = rng.lognormal(0.5, 0.7, size=(n_targets, 8))
+        return ObjectTable(SPECTRO_SCHEMA, data)

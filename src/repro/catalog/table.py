@@ -1,0 +1,138 @@
+"""Columnar object tables backed by numpy structured arrays.
+
+The archive moves data in bulk (scans, hash redistributions, river
+streams); a structured array with schema metadata is our in-memory unit of
+exchange.  Row subsets and column projections return *new* tables that
+share no mutable state with the source, so query nodes can run
+concurrently without locking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+
+__all__ = ["ObjectTable"]
+
+
+class ObjectTable:
+    """A schema-typed table of catalog objects.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`Schema` describing the columns.
+    data:
+        A numpy structured array with exactly the schema's dtype, or
+        ``None`` for an empty table.
+    """
+
+    __slots__ = ("schema", "data")
+
+    def __init__(self, schema, data=None):
+        if not isinstance(schema, Schema):
+            raise TypeError("schema must be a Schema")
+        dtype = schema.numpy_dtype()
+        if data is None:
+            data = np.empty(0, dtype=dtype)
+        else:
+            data = np.asarray(data)
+            if data.dtype != dtype:
+                raise ValueError(
+                    f"data dtype does not match schema {schema.name!r}: "
+                    f"{data.dtype} != {dtype}"
+                )
+        self.schema = schema
+        self.data = data
+
+    @classmethod
+    def from_columns(cls, schema, columns):
+        """Build from a dict of column name -> array (all same length)."""
+        names = schema.field_names()
+        missing = [n for n in names if n not in columns]
+        if missing:
+            raise KeyError(f"missing columns {missing} for schema {schema.name!r}")
+        lengths = {len(np.atleast_1d(columns[n])) for n in names}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        n = lengths.pop()
+        data = np.empty(n, dtype=schema.numpy_dtype())
+        for name in names:
+            data[name] = columns[name]
+        return cls(schema, data)
+
+    def __len__(self):
+        return self.data.shape[0]
+
+    def __getitem__(self, column):
+        """Column access by name (returns the underlying array view)."""
+        return self.data[column]
+
+    def column(self, name):
+        """Column array by name (alias of ``table[name]``)."""
+        return self.data[name]
+
+    def positions_xyz(self):
+        """``(n, 3)`` array of the Cartesian unit vectors (cx, cy, cz)."""
+        return np.stack([self.data["cx"], self.data["cy"], self.data["cz"]], axis=-1)
+
+    def nbytes(self):
+        """Bytes of packed record storage."""
+        return int(self.data.nbytes)
+
+    def take(self, indices_or_mask):
+        """Row subset as a new table (copies, never views)."""
+        subset = self.data[indices_or_mask]
+        return ObjectTable(self.schema, np.array(subset, copy=True))
+
+    def select(self, mask):
+        """Alias of :meth:`take` for boolean masks."""
+        return self.take(np.asarray(mask, dtype=bool))
+
+    def project(self, names, schema_name=None):
+        """Column projection as a new table with a projected schema."""
+        projected_schema = self.schema.project(names, schema_name)
+        out = np.empty(len(self), dtype=projected_schema.numpy_dtype())
+        for name in names:
+            out[name] = self.data[name]
+        return ObjectTable(projected_schema, out)
+
+    def concat(self, other):
+        """Row concatenation; schemas must match by name and dtype."""
+        if other.schema.numpy_dtype() != self.schema.numpy_dtype():
+            raise ValueError("cannot concat tables with different layouts")
+        return ObjectTable(self.schema, np.concatenate([self.data, other.data]))
+
+    def sort_by(self, column, descending=False):
+        """New table sorted by one column."""
+        order = np.argsort(self.data[column], kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def iter_chunks(self, chunk_rows):
+        """Yield consecutive row-slices as tables (no copies of the source)."""
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        for start in range(0, len(self), chunk_rows):
+            yield ObjectTable(self.schema, self.data[start : start + chunk_rows])
+
+    @staticmethod
+    def concat_all(tables):
+        """Concatenate a non-empty sequence of compatible tables."""
+        tables = list(tables)
+        if not tables:
+            raise ValueError("concat_all needs at least one table")
+        first = tables[0]
+        arrays = [t.data for t in tables]
+        for t in tables[1:]:
+            if t.schema.numpy_dtype() != first.schema.numpy_dtype():
+                raise ValueError("cannot concat tables with different layouts")
+        return ObjectTable(first.schema, np.concatenate(arrays))
+
+    def __repr__(self):
+        return (
+            f"ObjectTable({self.schema.name!r}, rows={len(self)}, "
+            f"bytes={self.nbytes()})"
+        )

@@ -1,0 +1,75 @@
+"""Spherical-geometry substrate for the SDSS Science Archive reproduction.
+
+The paper stores angular coordinates as Cartesian unit vectors so that
+queries over the celestial sphere — cone searches, latitude bands in any
+coordinate system, convex polygons — reduce to *linear* half-space tests
+``x . n >= c`` instead of trigonometric expressions.  This subpackage
+implements that representation and the region algebra built on it:
+
+* :mod:`repro.geometry.vector` — unit vectors and (ra, dec) conversions,
+* :mod:`repro.geometry.distance` — angular separations and bearings,
+* :mod:`repro.geometry.halfspace` — a single constraint ``x . n >= c``,
+* :mod:`repro.geometry.convex` — an AND of half-spaces,
+* :mod:`repro.geometry.region` — an OR of convexes (full Boolean algebra),
+* :mod:`repro.geometry.shapes` — circles, rects, polygons, latitude bands,
+* :mod:`repro.geometry.coords` — Equatorial/Galactic/Supergalactic/Ecliptic
+  frames as rotation matrices applied on the fly, exactly as the paper
+  prescribes ("coordinates in the different celestial coordinate systems
+  can be constructed from the Cartesian coordinates on the fly").
+"""
+
+from repro.geometry.vector import (
+    radec_to_vector,
+    vector_to_radec,
+    normalize,
+    UnitVector,
+)
+from repro.geometry.distance import (
+    angular_separation,
+    angular_separation_vectors,
+    position_angle,
+    ARCSEC_PER_RADIAN,
+)
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.convex import Convex
+from repro.geometry.region import Region
+from repro.geometry.shapes import (
+    circle_region,
+    rect_region,
+    polygon_region,
+    latitude_band,
+    longitude_wedge,
+)
+from repro.geometry.coords import (
+    CoordinateFrame,
+    EQUATORIAL,
+    GALACTIC,
+    SUPERGALACTIC,
+    ECLIPTIC,
+    transform,
+)
+
+__all__ = [
+    "radec_to_vector",
+    "vector_to_radec",
+    "normalize",
+    "UnitVector",
+    "angular_separation",
+    "angular_separation_vectors",
+    "position_angle",
+    "ARCSEC_PER_RADIAN",
+    "Halfspace",
+    "Convex",
+    "Region",
+    "circle_region",
+    "rect_region",
+    "polygon_region",
+    "latitude_band",
+    "longitude_wedge",
+    "CoordinateFrame",
+    "EQUATORIAL",
+    "GALACTIC",
+    "SUPERGALACTIC",
+    "ECLIPTIC",
+    "transform",
+]

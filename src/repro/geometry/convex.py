@@ -1,0 +1,122 @@
+"""Convex regions: intersections (AND) of half-space constraints.
+
+A *convex* in the paper's sense is the intersection of spherical caps.
+It is the unit of work for the HTM coverage algorithm: trixels are tested
+against each convex, and a trixel survives if it can intersect all the
+caps simultaneously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.halfspace import Halfspace
+
+__all__ = ["Convex"]
+
+
+class Convex:
+    """Intersection of zero or more :class:`Halfspace` constraints.
+
+    An empty constraint list denotes the full sphere (the neutral element
+    of intersection).  Construction prunes full-sphere constraints and
+    collapses to a canonical empty convex if any constraint is empty.
+    """
+
+    __slots__ = ("halfspaces", "_empty")
+
+    def __init__(self, halfspaces=()):
+        pruned = []
+        empty = False
+        for hs in halfspaces:
+            if not isinstance(hs, Halfspace):
+                raise TypeError(f"expected Halfspace, got {type(hs).__name__}")
+            if hs.is_empty():
+                empty = True
+                break
+            if hs.is_full():
+                continue
+            pruned.append(hs)
+        self.halfspaces = tuple(() if empty else pruned)
+        self._empty = empty
+
+    @classmethod
+    def full_sphere(cls):
+        """The convex containing every point of the sphere."""
+        return cls(())
+
+    @classmethod
+    def empty(cls):
+        """A canonical empty convex."""
+        convex = cls(())
+        convex._empty = True
+        return convex
+
+    def is_empty(self):
+        """True when the convex is known to contain no points.
+
+        Note: only *syntactic* emptiness (an explicitly empty constraint)
+        is detected here; geometric emptiness of cap intersections is
+        resolved by the cover algorithm, which will simply find no trixels.
+        """
+        return self._empty
+
+    def is_full_sphere(self):
+        """True when there are no effective constraints."""
+        return not self._empty and len(self.halfspaces) == 0
+
+    def contains(self, xyz):
+        """Boolean mask of which vector(s) lie in all half-spaces."""
+        xyz = np.asarray(xyz, dtype=np.float64)
+        leading_shape = xyz.shape[:-1]
+        if self._empty:
+            return np.zeros(leading_shape, dtype=bool)
+        mask = np.ones(leading_shape, dtype=bool)
+        for hs in self.halfspaces:
+            mask &= hs.contains(xyz)
+        return mask
+
+    def intersect(self, other):
+        """Convex AND convex -> convex (concatenate constraints)."""
+        if self._empty or other._empty:
+            return Convex.empty()
+        return Convex(self.halfspaces + other.halfspaces)
+
+    def add(self, halfspace):
+        """Return a new convex with one more constraint."""
+        if self._empty:
+            return Convex.empty()
+        return Convex(self.halfspaces + (halfspace,))
+
+    def bounding_circle(self):
+        """A single cap guaranteed to contain the convex, or ``None``.
+
+        Returns the smallest *constituent* cap (largest offset), which
+        always bounds the intersection.  ``None`` means unbounded (full
+        sphere or only hemisphere+ constraints where the smallest cap is
+        still the best available bound).
+        """
+        if self._empty or not self.halfspaces:
+            return None
+        return max(self.halfspaces, key=lambda hs: hs.offset)
+
+    def __len__(self):
+        return len(self.halfspaces)
+
+    def __iter__(self):
+        return iter(self.halfspaces)
+
+    def __repr__(self):
+        if self._empty:
+            return "Convex(EMPTY)"
+        if not self.halfspaces:
+            return "Convex(FULL_SPHERE)"
+        return f"Convex({len(self.halfspaces)} halfspaces)"
+
+    def __eq__(self, other):
+        if not isinstance(other, Convex):
+            return NotImplemented
+        return self._empty == other._empty and self.halfspaces == other.halfspaces
+
+    def __hash__(self):
+        return hash((self._empty, self.halfspaces))

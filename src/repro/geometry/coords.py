@@ -1,0 +1,181 @@
+"""Celestial coordinate frames as rotations of the Cartesian basis.
+
+Per the paper: *"The coordinates in the different celestial coordinate
+systems (Equatorial, Galactic, Supergalactic, etc) can be constructed from
+the Cartesian coordinates on the fly."*
+
+Every frame is an orthonormal rotation matrix ``M`` mapping **equatorial
+(J2000) unit vectors to frame unit vectors**: ``v_frame = M @ v_eq``.
+Because rotations preserve dot products, a constraint expressed in any
+frame (``x_frame . n >= c``) becomes an equatorial half-space with normal
+``M.T @ n`` — which is how :func:`frame_halfspace` lets queries mix
+constraints from several coordinate systems, the scenario of the paper's
+Figure 4.
+
+Rotation angles follow the conventional J2000 values (galactic pole /
+center from Blaauw et al.; supergalactic from de Vaucouleurs; ecliptic
+obliquity 23.4392911 deg).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.vector import normalize, radec_to_vector, vector_to_radec
+
+__all__ = [
+    "CoordinateFrame",
+    "EQUATORIAL",
+    "GALACTIC",
+    "SUPERGALACTIC",
+    "ECLIPTIC",
+    "transform",
+    "frame_halfspace",
+    "latitude_halfspaces",
+]
+
+
+def _rotation_from_pole_and_origin(pole_ra, pole_dec, origin_ra, origin_dec):
+    """Rotation matrix for a frame given its pole and origin in equatorial deg.
+
+    Rows of the matrix are the frame's x (toward origin), y (completing a
+    right-handed set) and z (toward pole) axes expressed in equatorial
+    coordinates; the origin direction is re-orthogonalized against the
+    pole so slightly inconsistent catalog constants still produce an exact
+    rotation.
+    """
+    z_axis = radec_to_vector(pole_ra, pole_dec)
+    x_raw = radec_to_vector(origin_ra, origin_dec)
+    x_axis = normalize(x_raw - np.dot(x_raw, z_axis) * z_axis)
+    y_axis = np.cross(z_axis, x_axis)
+    return np.stack([x_axis, y_axis, z_axis], axis=0)
+
+
+class CoordinateFrame:
+    """A named celestial frame defined by its rotation from equatorial."""
+
+    __slots__ = ("name", "matrix")
+
+    def __init__(self, name, matrix):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (3, 3):
+            raise ValueError("frame matrix must be 3x3")
+        if not np.allclose(matrix @ matrix.T, np.eye(3), atol=1e-9):
+            raise ValueError(f"frame matrix for {name!r} is not orthonormal")
+        self.name = str(name)
+        self.matrix = matrix
+
+    def to_frame(self, xyz_equatorial):
+        """Rotate equatorial vector(s) into this frame."""
+        xyz = np.asarray(xyz_equatorial, dtype=np.float64)
+        return xyz @ self.matrix.T
+
+    def from_frame(self, xyz_frame):
+        """Rotate vector(s) in this frame back to equatorial."""
+        xyz = np.asarray(xyz_frame, dtype=np.float64)
+        return xyz @ self.matrix
+
+    def lonlat(self, xyz_equatorial):
+        """Frame longitude/latitude in degrees of equatorial vector(s)."""
+        return vector_to_radec(self.to_frame(xyz_equatorial))
+
+    def from_lonlat(self, lon, lat):
+        """Equatorial vector(s) from frame longitude/latitude in degrees."""
+        return self.from_frame(radec_to_vector(lon, lat))
+
+    def __repr__(self):
+        return f"CoordinateFrame({self.name!r})"
+
+
+#: Identity frame: J2000 equatorial (ra, dec).
+EQUATORIAL = CoordinateFrame("equatorial", np.eye(3))
+
+#: IAU 1958 galactic frame (J2000 pole at ra 192.85948, dec 27.12825;
+#: galactic center at ra 266.405, dec -28.936).
+GALACTIC = CoordinateFrame(
+    "galactic",
+    _rotation_from_pole_and_origin(192.85948, 27.12825, 266.405, -28.936),
+)
+
+#: De Vaucouleurs supergalactic frame (pole at galactic l=47.37, b=+6.32;
+#: origin at l=137.37, b=0), composed through the galactic rotation.
+_SG_IN_GAL = _rotation_from_pole_and_origin(47.37, 6.32, 137.37, 0.0)
+SUPERGALACTIC = CoordinateFrame("supergalactic", _SG_IN_GAL @ GALACTIC.matrix)
+
+#: Ecliptic frame: rotation about the x-axis by the J2000 mean obliquity.
+_OBLIQUITY_DEG = 23.4392911
+
+
+def _ecliptic_matrix():
+    eps = math.radians(_OBLIQUITY_DEG)
+    cos_e, sin_e = math.cos(eps), math.sin(eps)
+    return np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.0, cos_e, sin_e],
+            [0.0, -sin_e, cos_e],
+        ]
+    )
+
+
+ECLIPTIC = CoordinateFrame("ecliptic", _ecliptic_matrix())
+
+_FRAMES = {
+    f.name: f for f in (EQUATORIAL, GALACTIC, SUPERGALACTIC, ECLIPTIC)
+}
+
+
+def get_frame(name):
+    """Look up a built-in frame by name (case-insensitive)."""
+    key = str(name).lower()
+    if key not in _FRAMES:
+        raise KeyError(f"unknown coordinate frame {name!r}; have {sorted(_FRAMES)}")
+    return _FRAMES[key]
+
+
+def transform(lon, lat, from_frame, to_frame):
+    """Convert (lon, lat) degrees between two frames.
+
+    Frames may be :class:`CoordinateFrame` instances or built-in names.
+    """
+    source = get_frame(from_frame) if isinstance(from_frame, str) else from_frame
+    target = get_frame(to_frame) if isinstance(to_frame, str) else to_frame
+    xyz_eq = source.from_lonlat(lon, lat)
+    return target.lonlat(xyz_eq)
+
+
+def frame_halfspace(frame, normal_in_frame, offset):
+    """Build an *equatorial* half-space from a constraint given in ``frame``.
+
+    This is the one-liner that makes cross-frame queries cheap: the
+    constraint normal is rotated once at query-compile time and all the
+    per-object work stays a single dot product on stored equatorial
+    vectors.
+    """
+    frame = get_frame(frame) if isinstance(frame, str) else frame
+    normal_eq = np.asarray(normal_in_frame, dtype=np.float64) @ frame.matrix
+    return Halfspace(normal_eq, offset)
+
+
+def latitude_halfspaces(frame, lat_min_deg, lat_max_deg):
+    """Half-spaces for ``lat_min <= latitude <= lat_max`` in ``frame``.
+
+    A latitude band is the intersection of two caps about the frame's
+    poles (the "two parallel planes" of the paper's Figure 4):
+    ``z_frame >= sin(lat_min)`` and ``-z_frame >= -sin(lat_max)``.
+    """
+    if lat_min_deg > lat_max_deg:
+        raise ValueError("lat_min_deg must not exceed lat_max_deg")
+    constraints = []
+    if lat_min_deg > -90.0:
+        constraints.append(
+            frame_halfspace(frame, [0.0, 0.0, 1.0], math.sin(math.radians(lat_min_deg)))
+        )
+    if lat_max_deg < 90.0:
+        constraints.append(
+            frame_halfspace(frame, [0.0, 0.0, -1.0], -math.sin(math.radians(lat_max_deg)))
+        )
+    return constraints

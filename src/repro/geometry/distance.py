@@ -1,0 +1,114 @@
+"""Angular distances and related spherical measures.
+
+The paper's example queries are phrased in angular distance ("within 5
+arcsec on the sky", "within 10 arcsec of each other"), so these helpers are
+the vocabulary of every spatial predicate in the archive.
+
+Two implementations of separation are provided deliberately:
+
+* :func:`angular_separation_vectors` — the Cartesian dot/cross form the
+  paper advocates (linear algebra only, numerically stable at small
+  angles via ``atan2``), and
+* :func:`angular_separation_trig` — the classical haversine formula on
+  (ra, dec) pairs, kept as the *baseline* for the Cartesian-vs-trig
+  benchmark (claim C1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.vector import radec_to_vector
+
+__all__ = [
+    "ARCSEC_PER_RADIAN",
+    "ARCSEC_PER_DEGREE",
+    "deg_to_arcsec",
+    "arcsec_to_deg",
+    "angular_separation",
+    "angular_separation_vectors",
+    "angular_separation_trig",
+    "cos_radius_for_arcsec",
+    "position_angle",
+]
+
+#: Number of arcseconds in one radian (~206264.8).
+ARCSEC_PER_RADIAN = math.degrees(1.0) * 3600.0
+
+#: Number of arcseconds in one degree.
+ARCSEC_PER_DEGREE = 3600.0
+
+
+def deg_to_arcsec(deg):
+    """Convert degrees to arcseconds."""
+    return np.asarray(deg, dtype=np.float64) * ARCSEC_PER_DEGREE
+
+
+def arcsec_to_deg(arcsec):
+    """Convert arcseconds to degrees."""
+    return np.asarray(arcsec, dtype=np.float64) / ARCSEC_PER_DEGREE
+
+
+def angular_separation_vectors(a, b):
+    """Angular separation in degrees between unit vector(s) ``a`` and ``b``.
+
+    Uses ``atan2(|a x b|, a . b)`` which is accurate for both tiny and
+    near-antipodal separations, unlike ``acos`` of the dot product.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    cross_norm = np.linalg.norm(np.cross(a, b), axis=-1)
+    dot_val = np.sum(a * b, axis=-1)
+    return np.rad2deg(np.arctan2(cross_norm, dot_val))
+
+
+def angular_separation_trig(ra1, dec1, ra2, dec2):
+    """Haversine separation in degrees from (ra, dec) pairs in degrees.
+
+    Kept as the trigonometric baseline the paper argues against for
+    database predicates; also used to cross-validate the vector form.
+    """
+    ra1 = np.deg2rad(np.asarray(ra1, dtype=np.float64))
+    dec1 = np.deg2rad(np.asarray(dec1, dtype=np.float64))
+    ra2 = np.deg2rad(np.asarray(ra2, dtype=np.float64))
+    dec2 = np.deg2rad(np.asarray(dec2, dtype=np.float64))
+    sin_half_ddec = np.sin((dec2 - dec1) / 2.0)
+    sin_half_dra = np.sin((ra2 - ra1) / 2.0)
+    h = sin_half_ddec**2 + np.cos(dec1) * np.cos(dec2) * sin_half_dra**2
+    return np.rad2deg(2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0))))
+
+
+def angular_separation(ra1, dec1, ra2, dec2):
+    """Angular separation in degrees between two (ra, dec) positions.
+
+    Public convenience wrapper: converts to vectors and uses the stable
+    Cartesian form.
+    """
+    return angular_separation_vectors(radec_to_vector(ra1, dec1), radec_to_vector(ra2, dec2))
+
+
+def cos_radius_for_arcsec(radius_arcsec):
+    """Cosine of an angular radius given in arcseconds.
+
+    This is the constant ``c`` of the half-space ``x . n >= c``
+    representing a cone search — the key trick of the paper's "Indexing
+    the Sky" section.
+    """
+    return math.cos(math.radians(float(radius_arcsec) / ARCSEC_PER_DEGREE))
+
+
+def position_angle(ra1, dec1, ra2, dec2):
+    """Position angle (degrees East of North) of point 2 as seen from point 1.
+
+    Standard astronomical convention: 0 deg = North, 90 deg = East.
+    """
+    ra1 = np.deg2rad(np.asarray(ra1, dtype=np.float64))
+    dec1 = np.deg2rad(np.asarray(dec1, dtype=np.float64))
+    ra2 = np.deg2rad(np.asarray(ra2, dtype=np.float64))
+    dec2 = np.deg2rad(np.asarray(dec2, dtype=np.float64))
+    dra = ra2 - ra1
+    numerator = np.sin(dra)
+    denominator = np.cos(dec1) * np.tan(dec2) - np.sin(dec1) * np.cos(dra)
+    return np.rad2deg(np.arctan2(numerator, denominator)) % 360.0

@@ -1,0 +1,103 @@
+"""Half-space constraints on the unit sphere.
+
+Per the paper: *"Each query can be represented as a set of half-space
+constraints, connected by Boolean operators, all in three-dimensional
+space."*  A half-space is the set of unit vectors ``x`` satisfying
+
+    x . normal >= offset          with -1 <= offset <= 1.
+
+Geometrically this is a spherical cap.  ``offset > 0`` gives a cap smaller
+than a hemisphere, ``offset == 0`` exactly a hemisphere, ``offset < 0``
+larger than a hemisphere.  ``offset <= -1`` contains the whole sphere and
+``offset > 1`` is empty.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.vector import normalize, radec_to_vector
+
+__all__ = ["Halfspace"]
+
+
+class Halfspace:
+    """The spherical cap ``x . normal >= offset``.
+
+    Parameters
+    ----------
+    normal:
+        Direction of the cap axis; normalized on construction.
+    offset:
+        Cosine of the cap's angular radius; clipped to ``[-1 - eps, 1 + eps]``
+        is *not* performed — out-of-range offsets are legal and denote the
+        full/empty constraint, which the cover algorithm exploits.
+    """
+
+    __slots__ = ("normal", "offset")
+
+    def __init__(self, normal, offset):
+        self.normal = normalize(np.asarray(normal, dtype=np.float64))
+        if self.normal.shape != (3,):
+            raise ValueError("halfspace normal must be a single 3-vector")
+        self.offset = float(offset)
+
+    @classmethod
+    def from_cone(cls, ra, dec, radius_deg):
+        """Cap of angular radius ``radius_deg`` centered at (ra, dec) degrees."""
+        if not 0.0 <= radius_deg <= 180.0:
+            raise ValueError(f"cone radius must be in [0, 180] deg, got {radius_deg}")
+        return cls(radec_to_vector(float(ra), float(dec)), math.cos(math.radians(radius_deg)))
+
+    @property
+    def radius_deg(self):
+        """Angular radius of the cap in degrees (0..180)."""
+        return math.degrees(math.acos(min(1.0, max(-1.0, self.offset))))
+
+    def is_empty(self):
+        """True when no unit vector can satisfy the constraint."""
+        return self.offset > 1.0
+
+    def is_full(self):
+        """True when every unit vector satisfies the constraint."""
+        return self.offset <= -1.0
+
+    def contains(self, xyz):
+        """Boolean mask of which vector(s) satisfy the constraint."""
+        xyz = np.asarray(xyz, dtype=np.float64)
+        return np.sum(xyz * self.normal, axis=-1) >= self.offset
+
+    def complement(self):
+        """The open complement as a closed halfspace.
+
+        Complementing ``x.n >= c`` gives ``x.n < c``; we return the closed
+        cap ``x.(-n) >= -c``.  The boundary circle (measure zero on the
+        sphere) is double-counted, which is the standard convention for
+        region algebra on catalogs.
+        """
+        return Halfspace(-self.normal, -self.offset)
+
+    def solid_angle_sr(self):
+        """Solid angle of the cap in steradians: ``2*pi*(1 - offset)``."""
+        clipped = min(1.0, max(-1.0, self.offset))
+        return 2.0 * math.pi * (1.0 - clipped)
+
+    def area_sqdeg(self):
+        """Cap area in square degrees."""
+        return self.solid_angle_sr() * (180.0 / math.pi) ** 2
+
+    def __repr__(self):
+        return f"Halfspace(normal={self.normal.tolist()}, offset={self.offset:.6f})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Halfspace):
+            return NotImplemented
+        return bool(
+            np.allclose(self.normal, other.normal, atol=1e-12)
+            and abs(self.offset - other.offset) <= 1e-12
+        )
+
+    def __hash__(self):
+        return hash((tuple(np.round(self.normal, 12)), round(self.offset, 12)))

@@ -1,0 +1,256 @@
+"""Recursive trixel coverage of half-space regions (the paper's Figure 4).
+
+*"Run a test between the query polyhedron and the spherical triangles
+corresponding to the tree root nodes. ... Classify nodes, as fully outside
+the query, fully inside the query or partially intersecting the query
+polyhedron.  If a node is rejected, that node's children can be ignored.
+Only the children of bisected triangles need be further investigated."*
+
+Correctness contract
+--------------------
+The classification is *conservative toward PARTIAL*: a trixel is reported
+``INSIDE`` only if every point of it satisfies the region, and ``OUTSIDE``
+only if no point does.  Ambiguous geometry degrades to ``PARTIAL``, whose
+objects are re-checked point-wise downstream — so query answers are exact
+regardless of coverage depth; depth only trades index work against the
+number of objects that need the fine check.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.geometry.convex import Convex
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.region import Region
+from repro.geometry.vector import cross3
+from repro.htm.mesh import MAX_DEPTH
+from repro.htm.ranges import RangeSet
+from repro.htm.trixel import BASE_TRIXELS
+
+__all__ = ["Classification", "Coverage", "cover_region", "classify_trixel_region"]
+
+
+class Classification(enum.Enum):
+    """Trixel-vs-region verdicts."""
+
+    INSIDE = "inside"
+    OUTSIDE = "outside"
+    PARTIAL = "partial"
+
+
+def _point_in_trixel(point, corners):
+    """True if ``point`` lies within the (closed) spherical triangle."""
+    v0, v1, v2 = corners
+    return (
+        np.dot(point, cross3(v0, v1)) >= 0.0
+        and np.dot(point, cross3(v1, v2)) >= 0.0
+        and np.dot(point, cross3(v2, v0)) >= 0.0
+    )
+
+
+def _cap_boundary_crosses_edge(halfspace, a, b):
+    """Does the circle ``x.n = c`` intersect the great-circle arc a->b?
+
+    Solve for points on both the cap-boundary plane and the edge's great
+    circle, then test whether either solution lies within the arc.
+    """
+    n = halfspace.normal
+    c = halfspace.offset
+    m = cross3(a, b)
+    m_norm = np.linalg.norm(m)
+    if m_norm == 0.0:
+        return False
+    m = m / m_norm
+
+    n_dot_m = float(np.dot(n, m))
+    denom = 1.0 - n_dot_m * n_dot_m
+    if denom <= 1e-15:
+        # Edge circle parallel to cap boundary: either identical (grazing)
+        # or disjoint; no transversal crossing either way.
+        return False
+    # x = alpha*n + beta*m + gamma*(n x m); constraints x.n=c, x.m=0.
+    alpha = c / denom
+    beta = -c * n_dot_m / denom
+    base = alpha * n + beta * m
+    gamma_sq = 1.0 - float(np.dot(base, base))
+    if gamma_sq < 0.0:
+        return False
+    gamma = math.sqrt(gamma_sq)
+    direction = cross3(n, m)
+    for sign in (1.0, -1.0):
+        candidate = base + sign * gamma * direction
+        # Candidate is on the edge's great circle; is it within the arc?
+        within = (
+            np.dot(cross3(a, candidate), m) >= -1e-15
+            and np.dot(cross3(candidate, b), m) >= -1e-15
+        )
+        if within:
+            return True
+    return False
+
+
+def classify_trixel_halfspace(corners, halfspace):
+    """Classify a trixel against one half-space.
+
+    Returns a :class:`Classification`; conservative toward PARTIAL.
+    """
+    if halfspace.is_full():
+        return Classification.INSIDE
+    if halfspace.is_empty():
+        return Classification.OUTSIDE
+
+    inside_mask = halfspace.contains(corners)
+    n_inside = int(np.count_nonzero(inside_mask))
+
+    if n_inside == 3:
+        if halfspace.offset >= 0.0:
+            # Cap is geodesically convex; corners in => triangle in.
+            return Classification.INSIDE
+        # Cap larger than a hemisphere: the *complement* cap is convex.
+        # The triangle leaves the cap only if the shared boundary circle
+        # crosses an edge or the complement cap sits wholly inside.
+        anti_center = -halfspace.normal
+        if _point_in_trixel(anti_center, corners):
+            return Classification.PARTIAL
+        for i in range(3):
+            if _cap_boundary_crosses_edge(halfspace, corners[i], corners[(i + 1) % 3]):
+                return Classification.PARTIAL
+        return Classification.INSIDE
+
+    if n_inside == 0:
+        if _point_in_trixel(halfspace.normal, corners):
+            return Classification.PARTIAL
+        for i in range(3):
+            if _cap_boundary_crosses_edge(halfspace, corners[i], corners[(i + 1) % 3]):
+                return Classification.PARTIAL
+        return Classification.OUTSIDE
+
+    return Classification.PARTIAL
+
+
+def classify_trixel_convex(corners, convex):
+    """Classify a trixel against a convex (AND of half-spaces).
+
+    OUTSIDE w.r.t. any constraint dominates; INSIDE requires INSIDE on all
+    constraints; everything else is PARTIAL.  (A conjunction of PARTIALs
+    may in truth be empty; we accept PARTIAL and let the point-wise filter
+    settle it — the safe direction.)
+    """
+    if convex.is_empty():
+        return Classification.OUTSIDE
+    verdict = Classification.INSIDE
+    for halfspace in convex:
+        single = classify_trixel_halfspace(corners, halfspace)
+        if single is Classification.OUTSIDE:
+            return Classification.OUTSIDE
+        if single is Classification.PARTIAL:
+            verdict = Classification.PARTIAL
+    return verdict
+
+
+def classify_trixel_region(corners, region):
+    """Classify a trixel against a region (OR of convexes).
+
+    INSIDE w.r.t. any clause dominates; OUTSIDE requires OUTSIDE on all
+    clauses; everything else is PARTIAL.
+    """
+    if region.is_empty():
+        return Classification.OUTSIDE
+    verdict = Classification.OUTSIDE
+    for convex in region:
+        single = classify_trixel_convex(corners, convex)
+        if single is Classification.INSIDE:
+            return Classification.INSIDE
+        if single is Classification.PARTIAL:
+            verdict = Classification.PARTIAL
+    return verdict
+
+
+class Coverage:
+    """Result of covering a region down to ``depth``.
+
+    Attributes
+    ----------
+    depth:
+        Leaf depth of the computation.
+    inside:
+        :class:`RangeSet` of leaf-depth ids of trixels *fully inside* the
+        region (subtrees accepted early are expanded to leaf intervals).
+    partial:
+        :class:`RangeSet` of leaf-depth ids of bisected trixels.
+    stats:
+        Dict of node counts: tested / accepted / rejected / bisected.
+    """
+
+    __slots__ = ("depth", "inside", "partial", "stats")
+
+    def __init__(self, depth, inside, partial, stats):
+        self.depth = depth
+        self.inside = inside
+        self.partial = partial
+        self.stats = stats
+
+    def candidates(self):
+        """All leaf ids whose objects must be considered (inside + partial)."""
+        return self.inside.union(self.partial)
+
+    def __repr__(self):
+        return (
+            f"Coverage(depth={self.depth}, inside={self.inside.count()}, "
+            f"partial={self.partial.count()})"
+        )
+
+
+def cover_region(region, depth):
+    """Cover ``region`` with trixels down to ``depth``.
+
+    Implements the recursive classification of the paper: nodes fully
+    inside are accepted as whole subtrees (contiguous id intervals), nodes
+    fully outside are pruned, and only bisected nodes recurse.
+    """
+    if isinstance(region, Halfspace):
+        region = Region.from_halfspace(region)
+    elif isinstance(region, Convex):
+        region = Region.from_convex(region)
+    if not isinstance(region, Region):
+        raise TypeError(f"expected Region/Convex/Halfspace, got {type(region).__name__}")
+    if not 0 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth must be in [0, {MAX_DEPTH}], got {depth}")
+
+    inside_intervals = []
+    partial_ids = []
+    stats = {"tested": 0, "accepted": 0, "rejected": 0, "bisected": 0}
+
+    def recurse(trixel, node_depth):
+        stats["tested"] += 1
+        verdict = classify_trixel_region(trixel.corners, region)
+        if verdict is Classification.OUTSIDE:
+            stats["rejected"] += 1
+            return
+        if verdict is Classification.INSIDE:
+            stats["accepted"] += 1
+            shift = 2 * (depth - node_depth)
+            lo = trixel.htm_id << shift
+            hi = ((trixel.htm_id + 1) << shift) - 1
+            inside_intervals.append((lo, hi))
+            return
+        stats["bisected"] += 1
+        if node_depth == depth:
+            partial_ids.append(trixel.htm_id)
+            return
+        for child in trixel.children():
+            recurse(child, node_depth + 1)
+
+    for root in BASE_TRIXELS:
+        recurse(root, 0)
+
+    return Coverage(
+        depth=depth,
+        inside=RangeSet(inside_intervals),
+        partial=RangeSet.from_ids(partial_ids),
+        stats=stats,
+    )

@@ -1,0 +1,252 @@
+"""HTM id scheme and point location.
+
+Encoding (the classical JHU scheme): an id at depth ``d`` is a binary
+number of ``4 + 2d`` bits.  The top 4 bits are ``10xx`` for the southern
+roots S0..S3 (ids 8..11) and ``11xx`` for the northern roots N0..N3
+(ids 12..15); each deeper level appends 2 bits selecting the child
+(0..3).  Consequently depth-``d`` ids occupy ``[8 * 4**d, 16 * 4**d)`` and
+the four children of node ``t`` are ``4t .. 4t + 3`` — which is what makes
+interval arithmetic on id ranges (see :mod:`repro.htm.ranges`) equivalent
+to set algebra on sky areas.
+
+Names are the human-readable form: ``"N0"``, ``"S312"``, etc., one child
+digit per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vector import radec_to_vector
+from repro.htm.trixel import Trixel, base_trixel_vertices
+
+__all__ = [
+    "HTM_ROOT_COUNT",
+    "id_depth",
+    "depth_id_bounds",
+    "children_of",
+    "parent_of",
+    "id_to_name",
+    "name_to_id",
+    "trixel_from_id",
+    "lookup_id",
+    "lookup_ids",
+    "trixel_count_at_depth",
+]
+
+#: Number of level-0 trixels (octahedron faces).
+HTM_ROOT_COUNT = 8
+
+#: Practical depth limit: 2 bits/level in int64 allows depth <= 29; we cap
+#: below that so (id ranges, child shifts) never overflow signed 64-bit.
+MAX_DEPTH = 24
+
+_ROOT_NAMES = ["S0", "S1", "S2", "S3", "N0", "N1", "N2", "N3"]
+_ROOT_IDS = {name: 8 + k for k, name in enumerate(_ROOT_NAMES)}
+
+
+def _validate_id(htm_id):
+    htm_id = int(htm_id)
+    bits = htm_id.bit_length()
+    if htm_id < 8 or (bits - 4) % 2 != 0:
+        raise ValueError(f"invalid HTM id {htm_id}")
+    return htm_id
+
+
+def id_depth(htm_id):
+    """Depth of an HTM id (0 for roots)."""
+    return (_validate_id(htm_id).bit_length() - 4) // 2
+
+
+def depth_id_bounds(depth):
+    """Half-open id interval ``[lo, hi)`` of all ids at ``depth``."""
+    if not 0 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth must be in [0, {MAX_DEPTH}], got {depth}")
+    return 8 * 4**depth, 16 * 4**depth
+
+
+def trixel_count_at_depth(depth):
+    """Number of trixels at a depth: ``8 * 4**depth``."""
+    lo, hi = depth_id_bounds(depth)
+    return hi - lo
+
+
+def children_of(htm_id):
+    """The four child ids of a node."""
+    htm_id = _validate_id(htm_id)
+    return [htm_id * 4 + i for i in range(4)]
+
+
+def parent_of(htm_id):
+    """Parent id, or ``None`` for a root."""
+    htm_id = _validate_id(htm_id)
+    if htm_id < 16:
+        return None
+    return htm_id >> 2
+
+
+def id_to_name(htm_id):
+    """Render an id as its HTM name, e.g. ``14 -> 'N2'``, ``57 -> 'N201'``...
+
+    The name is the root label followed by one child digit per level.
+    """
+    htm_id = _validate_id(htm_id)
+    digits = []
+    while htm_id >= 16:
+        digits.append(htm_id & 3)
+        htm_id >>= 2
+    root = _ROOT_NAMES[htm_id - 8]
+    return root + "".join(str(d) for d in reversed(digits))
+
+
+def name_to_id(name):
+    """Parse an HTM name back to its id."""
+    name = str(name).upper()
+    if len(name) < 2 or name[:2] not in _ROOT_IDS:
+        raise ValueError(f"invalid HTM name {name!r}")
+    htm_id = _ROOT_IDS[name[:2]]
+    for ch in name[2:]:
+        if ch not in "0123":
+            raise ValueError(f"invalid HTM name {name!r}: bad child digit {ch!r}")
+        htm_id = htm_id * 4 + int(ch)
+    return htm_id
+
+
+def trixel_corners(htm_id):
+    """Corner vectors of a trixel by direct digit walk (no Trixel objects).
+
+    The hot-path form: computes only the chosen child's corners at each
+    level instead of materializing all four children.
+    """
+    htm_id = _validate_id(htm_id)
+    digits = []
+    node = htm_id
+    while node >= 16:
+        digits.append(node & 3)
+        node >>= 2
+    corners = base_trixel_vertices()[node - 8].copy()
+    for digit in reversed(digits):
+        v0, v1, v2 = corners
+        if digit == 0:
+            a, b, c = v0, v0 + v1, v0 + v2  # (v0, w2, w1)
+        elif digit == 1:
+            a, b, c = v1, v1 + v2, v0 + v1  # (v1, w0, w2)
+        elif digit == 2:
+            a, b, c = v2, v0 + v2, v1 + v2  # (v2, w1, w0)
+        else:
+            a, b, c = v1 + v2, v0 + v2, v0 + v1  # (w0, w1, w2)
+        corners = np.stack(
+            [
+                a / np.linalg.norm(a),
+                b / np.linalg.norm(b),
+                c / np.linalg.norm(c),
+            ]
+        )
+    return corners
+
+
+def trixel_from_id(htm_id):
+    """Materialize the :class:`Trixel` for an id."""
+    htm_id = _validate_id(htm_id)
+    return Trixel(htm_id, trixel_corners(htm_id))
+
+
+def lookup_id(ra, dec, depth):
+    """HTM id at ``depth`` of a single (ra, dec) position in degrees."""
+    ids = lookup_ids(np.asarray([float(ra)]), np.asarray([float(dec)]), depth)
+    return int(ids[0])
+
+
+def lookup_ids(ra, dec, depth):
+    """Vectorized point location: HTM ids at ``depth`` for arrays of degrees.
+
+    Ties on shared edges are broken deterministically by child test order
+    (0, 1, 2, then the middle child 3), so every point maps to exactly one
+    trixel — the property the paper's clustering containers rely on.
+    """
+    if not 0 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth must be in [0, {MAX_DEPTH}], got {depth}")
+    xyz = radec_to_vector(np.atleast_1d(ra), np.atleast_1d(dec))
+    return lookup_ids_from_vectors(xyz, depth)
+
+
+def lookup_ids_from_vectors(xyz, depth):
+    """As :func:`lookup_ids` but starting from ``(n, 3)`` unit vectors."""
+    xyz = np.asarray(xyz, dtype=np.float64)
+    if xyz.ndim == 1:
+        xyz = xyz[None, :]
+    n = xyz.shape[0]
+
+    base = base_trixel_vertices()  # (8, 3, 3)
+    ids = np.full(n, -1, dtype=np.int64)
+    corners = np.empty((n, 3, 3))
+
+    # Root assignment by octant, matching the canonical corner layout.
+    # Determine root by sign of z then quadrant of (x, y); edge ties are
+    # resolved the same way contains() resolves them, by explicit test.
+    assigned = np.zeros(n, dtype=bool)
+    for k in range(8):
+        trixel = Trixel(8 + k, base[k])
+        mask = (~assigned) & trixel.contains(xyz)
+        if np.any(mask):
+            ids[mask] = 8 + k
+            corners[mask] = base[k]
+            assigned |= mask
+    if not np.all(assigned):
+        # Numerically pathological points (should not happen for unit
+        # vectors); assign to the nearest root center as a fallback.
+        leftovers = np.nonzero(~assigned)[0]
+        centers = base.mean(axis=1)
+        centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+        nearest = np.argmax(xyz[leftovers] @ centers.T, axis=1)
+        ids[leftovers] = 8 + nearest
+        corners[leftovers] = base[nearest]
+
+    for _ in range(depth):
+        v0 = corners[:, 0]
+        v1 = corners[:, 1]
+        v2 = corners[:, 2]
+        w0 = v1 + v2
+        w0 /= np.linalg.norm(w0, axis=1, keepdims=True)
+        w1 = v0 + v2
+        w1 /= np.linalg.norm(w1, axis=1, keepdims=True)
+        w2 = v0 + v1
+        w2 /= np.linalg.norm(w2, axis=1, keepdims=True)
+
+        child_corner_sets = (
+            (v0, w2, w1),
+            (v1, w0, w2),
+            (v2, w1, w0),
+        )
+        chosen = np.full(n, 3, dtype=np.int64)  # default: middle child
+        undecided = np.ones(n, dtype=bool)
+        for child_index, (a, b, c) in enumerate(child_corner_sets):
+            e_ab = np.cross(a, b)
+            e_bc = np.cross(b, c)
+            e_ca = np.cross(c, a)
+            inside = (
+                (np.sum(xyz * e_ab, axis=1) >= 0.0)
+                & (np.sum(xyz * e_bc, axis=1) >= 0.0)
+                & (np.sum(xyz * e_ca, axis=1) >= 0.0)
+            )
+            take = undecided & inside
+            chosen[take] = child_index
+            undecided &= ~take
+
+        new_corners = np.empty_like(corners)
+        for child_index, (a, b, c) in enumerate(child_corner_sets):
+            mask = chosen == child_index
+            if np.any(mask):
+                new_corners[mask, 0] = a[mask]
+                new_corners[mask, 1] = b[mask]
+                new_corners[mask, 2] = c[mask]
+        mask = chosen == 3
+        if np.any(mask):
+            new_corners[mask, 0] = w0[mask]
+            new_corners[mask, 1] = w1[mask]
+            new_corners[mask, 2] = w2[mask]
+
+        corners = new_corners
+        ids = ids * 4 + chosen
+
+    return ids

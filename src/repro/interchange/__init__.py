@@ -1,0 +1,53 @@
+"""Metadata and interchange: FITS tables, XML, schema generation.
+
+*"About 20 years ago, astronomers agreed on exchanging most of their data
+in self-descriptive data format.  This format, FITS ... is well supported
+by all astronomical software systems. ... Unfortunately, FITS files do
+not support streaming data, although data could be blocked into separate
+FITS packets.  We are currently implementing both an ASCII and a binary
+FITS output stream, using such a blocked approach.  We expect large
+archives to communicate with one another via a standard, easily parseable
+interchange format.  We plan to define the interchange formats in XML."*
+
+* :mod:`repro.interchange.fits` — minimal FITS-conformant binary tables
+  (2880-byte blocks, big-endian data) plus the blocked streaming variant
+  and an ASCII stream;
+* :mod:`repro.interchange.xmlio` — XML export/import of query results;
+* :mod:`repro.interchange.schema_gen` — the UML-tool analogue: one schema
+  source emitting SQL DDL, C++ headers, and XML schema documents.
+"""
+
+from repro.interchange.fits import (
+    write_binary_table,
+    read_binary_table,
+    binary_table_bytes,
+    parse_binary_table_bytes,
+    stream_binary_packets,
+    read_binary_packets,
+    stream_ascii_packets,
+    read_ascii_packets,
+)
+from repro.interchange.xmlio import table_to_xml, table_from_xml
+from repro.interchange.schema_gen import (
+    schema_to_sql,
+    schema_to_cpp_header,
+    schema_to_xml_schema,
+    schema_to_objectivity_ddl,
+)
+
+__all__ = [
+    "write_binary_table",
+    "read_binary_table",
+    "binary_table_bytes",
+    "parse_binary_table_bytes",
+    "stream_binary_packets",
+    "read_binary_packets",
+    "stream_ascii_packets",
+    "read_ascii_packets",
+    "table_to_xml",
+    "table_from_xml",
+    "schema_to_sql",
+    "schema_to_cpp_header",
+    "schema_to_xml_schema",
+    "schema_to_objectivity_ddl",
+]

@@ -1,0 +1,375 @@
+"""Minimal FITS binary tables and blocked streams.
+
+Implements the subset of FITS (Wells et al. 1981) the archive needs:
+
+* a primary HDU (header only),
+* one BINTABLE extension per table: 80-character header cards padded to
+  2880-byte blocks, big-endian column data, TFORM/TTYPE/TUNIT/TDIM cards
+  generated from the :class:`~repro.catalog.schema.Schema`;
+* the paper's *blocked streaming* workaround: a stream is a sequence of
+  self-contained FITS packets, one per row chunk, each independently
+  parseable ("data could be blocked into separate FITS packets");
+* an ASCII packet stream with the same blocking for human-readable
+  export.
+
+Round-trip fidelity (write -> read equals the original, bit-exact for
+integers, to float precision otherwise) is property-tested.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.catalog.schema import Field, Schema
+from repro.catalog.table import ObjectTable
+
+__all__ = [
+    "write_binary_table",
+    "read_binary_table",
+    "binary_table_bytes",
+    "parse_binary_table_bytes",
+    "stream_binary_packets",
+    "read_binary_packets",
+    "stream_ascii_packets",
+    "read_ascii_packets",
+]
+
+BLOCK = 2880
+CARD = 80
+
+#: numpy kind+itemsize -> FITS TFORM letter.
+_TFORM_OF = {
+    ("u", 1): "B",
+    ("i", 2): "I",
+    ("i", 4): "J",
+    ("i", 8): "K",
+    # FITS has no unsigned 64-bit column type; flag words are written as
+    # signed K (values < 2^63 round-trip exactly, reading back as i8).
+    ("u", 8): "K",
+    ("f", 4): "E",
+    ("f", 8): "D",
+}
+_DTYPE_OF_TFORM = {
+    "B": "u1",
+    "I": "i2",
+    "J": "i4",
+    "K": "i8",
+    "E": "f4",
+    "D": "f8",
+}
+
+
+def _card(keyword, value, comment=""):
+    """One 80-character header card."""
+    if isinstance(value, bool):
+        text = "T" if value else "F"
+        body = f"{keyword:<8}= {text:>20}"
+    elif isinstance(value, (int, np.integer)):
+        body = f"{keyword:<8}= {value:>20}"
+    elif isinstance(value, float):
+        body = f"{keyword:<8}= {value:>20.10G}"
+    elif value is None:
+        body = f"{keyword:<8}"
+    else:
+        quoted = "'" + str(value).replace("'", "''") + "'"
+        body = f"{keyword:<8}= {quoted:<20}"
+    if comment:
+        body = f"{body} / {comment}"
+    if len(body) > CARD:
+        body = body[:CARD]
+    return body.ljust(CARD).encode("ascii")
+
+
+def _header_bytes(cards):
+    """Cards + END, padded with blank cards to a block boundary."""
+    raw = b"".join(cards) + _card("END", None)
+    remainder = len(raw) % BLOCK
+    if remainder:
+        raw += b" " * (BLOCK - remainder)
+    return raw
+
+
+def _field_tform(field):
+    """(TFORM string, flattened element count) for a schema field."""
+    dtype = np.dtype(field.dtype)
+    key = (dtype.kind, dtype.itemsize)
+    if key not in _TFORM_OF:
+        raise ValueError(f"field {field.name!r}: unsupported dtype {field.dtype}")
+    count = 1
+    for dim in field.shape:
+        count *= dim
+    letter = _TFORM_OF[key]
+    return (f"{count}{letter}" if count != 1 else letter), count
+
+
+def binary_table_bytes(table, extname="CATALOG"):
+    """Serialize a table to a complete FITS byte string (primary + BINTABLE)."""
+    schema = table.schema
+    # Big-endian packed dtype for the data segment.
+    be_descr = []
+    for field in schema:
+        dtype = np.dtype(field.dtype).newbyteorder(">")
+        if field.shape:
+            be_descr.append((field.name, dtype.str, field.shape))
+        else:
+            be_descr.append((field.name, dtype.str))
+    be_dtype = np.dtype(be_descr)
+    data = np.empty(len(table), dtype=be_dtype)
+    for field in schema:
+        data[field.name] = table[field.name]
+    payload = data.tobytes()
+
+    primary = _header_bytes(
+        [
+            _card("SIMPLE", True, "conforms to FITS"),
+            _card("BITPIX", 8),
+            _card("NAXIS", 0),
+            _card("EXTEND", True),
+        ]
+    )
+    cards = [
+        _card("XTENSION", "BINTABLE", "binary table"),
+        _card("BITPIX", 8),
+        _card("NAXIS", 2),
+        _card("NAXIS1", be_dtype.itemsize, "bytes per row"),
+        _card("NAXIS2", len(table), "rows"),
+        _card("PCOUNT", 0),
+        _card("GCOUNT", 1),
+        _card("TFIELDS", len(schema)),
+        _card("EXTNAME", extname),
+    ]
+    for index, field in enumerate(schema, start=1):
+        tform, _count = _field_tform(field)
+        cards.append(_card(f"TTYPE{index}", field.name, field.doc[:40]))
+        cards.append(_card(f"TFORM{index}", tform))
+        if field.unit:
+            cards.append(_card(f"TUNIT{index}", field.unit))
+        if field.shape:
+            # FITS TDIM is fastest-axis-first.
+            dims = ",".join(str(d) for d in reversed(field.shape))
+            cards.append(_card(f"TDIM{index}", f"({dims})"))
+    header = _header_bytes(cards)
+
+    padded_payload = payload + b"\x00" * ((-len(payload)) % BLOCK)
+    return primary + header + padded_payload
+
+
+def write_binary_table(table, path, extname="CATALOG"):
+    """Write a table to a FITS file on disk."""
+    with open(path, "wb") as handle:
+        handle.write(binary_table_bytes(table, extname=extname))
+
+
+def _parse_header(blob, offset):
+    """Parse one header unit; returns (card dict in order, next offset)."""
+    cards = {}
+    while True:
+        block = blob[offset : offset + BLOCK]
+        if len(block) < BLOCK:
+            raise ValueError("truncated FITS header")
+        offset += BLOCK
+        done = False
+        for i in range(0, BLOCK, CARD):
+            card = block[i : i + CARD].decode("ascii")
+            keyword = card[:8].strip()
+            if keyword == "END":
+                done = True
+                break
+            if not keyword or card[8:10] != "= ":
+                continue
+            raw_value = card[10:]
+            comment_split = _split_value_comment(raw_value)
+            cards[keyword] = comment_split
+        if done:
+            return cards, offset
+
+
+def _split_value_comment(raw):
+    """Value portion of a card, unquoting strings."""
+    raw = raw.strip()
+    if raw.startswith("'"):
+        # Find the closing quote (doubled quotes are escapes).
+        out = []
+        i = 1
+        while i < len(raw):
+            if raw[i] == "'":
+                if i + 1 < len(raw) and raw[i + 1] == "'":
+                    out.append("'")
+                    i += 2
+                    continue
+                break
+            out.append(raw[i])
+            i += 1
+        return "".join(out).rstrip()
+    value = raw.split("/", 1)[0].strip()
+    if value == "T":
+        return True
+    if value == "F":
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def parse_binary_table_bytes(blob):
+    """Parse FITS bytes back into an :class:`ObjectTable`."""
+    primary, offset = _parse_header(blob, 0)
+    if primary.get("SIMPLE") is not True:
+        raise ValueError("not a FITS file (missing SIMPLE = T)")
+    header, offset = _parse_header(blob, offset)
+    if header.get("XTENSION") != "BINTABLE":
+        raise ValueError("expected a BINTABLE extension")
+    n_rows = int(header["NAXIS2"])
+    n_fields = int(header["TFIELDS"])
+
+    fields = []
+    for index in range(1, n_fields + 1):
+        name = str(header[f"TTYPE{index}"])
+        tform = str(header[f"TFORM{index}"]).strip()
+        count_text = tform[:-1]
+        letter = tform[-1]
+        count = int(count_text) if count_text else 1
+        base = _DTYPE_OF_TFORM[letter]
+        unit = str(header.get(f"TUNIT{index}", ""))
+        tdim = header.get(f"TDIM{index}")
+        if tdim:
+            dims = tuple(int(d) for d in str(tdim).strip("()").split(","))
+            shape = tuple(reversed(dims))
+        elif count != 1:
+            shape = (count,)
+        else:
+            shape = ()
+        fields.append(Field(name, base, shape=shape, unit=unit))
+    schema = Schema(str(header.get("EXTNAME", "fits_table")), fields)
+
+    be_descr = []
+    for field in schema:
+        dtype = np.dtype(field.dtype).newbyteorder(">")
+        if field.shape:
+            be_descr.append((field.name, dtype.str, field.shape))
+        else:
+            be_descr.append((field.name, dtype.str))
+    be_dtype = np.dtype(be_descr)
+    payload = blob[offset : offset + n_rows * be_dtype.itemsize]
+    raw = np.frombuffer(payload, dtype=be_dtype, count=n_rows)
+
+    native = np.empty(n_rows, dtype=schema.numpy_dtype())
+    for field in schema:
+        native[field.name] = raw[field.name]
+    return ObjectTable(schema, native)
+
+
+def read_binary_table(path):
+    """Read a FITS file written by :func:`write_binary_table`."""
+    with open(path, "rb") as handle:
+        return parse_binary_table_bytes(handle.read())
+
+
+# ----------------------------------------------------------------------
+# blocked streams
+# ----------------------------------------------------------------------
+
+def stream_binary_packets(table, rows_per_packet=1024, extname="CATALOG"):
+    """Yield self-contained FITS packets of ``rows_per_packet`` rows each.
+
+    Each packet is a complete, independently parseable FITS byte string —
+    the paper's blocked-streaming workaround for FITS's lack of a
+    streaming mode.
+    """
+    if rows_per_packet <= 0:
+        raise ValueError("rows_per_packet must be positive")
+    for chunk in table.iter_chunks(rows_per_packet):
+        yield binary_table_bytes(chunk.take(slice(None)), extname=extname)
+
+
+def read_binary_packets(packets):
+    """Reassemble a packet stream into one table (schemas must agree)."""
+    tables = [parse_binary_table_bytes(p) for p in packets]
+    if not tables:
+        raise ValueError("empty packet stream")
+    return ObjectTable.concat_all(tables)
+
+
+def _ascii_format(field):
+    dtype = np.dtype(field.dtype)
+    if dtype.kind in "iu":
+        return lambda v: f"{int(v)}"
+    if dtype.itemsize == 8:
+        return lambda v: f"{float(v):.17g}"
+    return lambda v: f"{float(v):.9g}"
+
+
+def stream_ascii_packets(table, rows_per_packet=1024):
+    """Yield self-describing ASCII packets (header line + fixed columns).
+
+    Subarray fields are flattened with ``name[k]`` labels.  The format is
+    deliberately trivial to parse: a ``# schema:`` line carrying
+    name:dtype:shape triples, then one whitespace-separated row per line.
+    """
+    schema = table.schema
+    header_parts = []
+    for field in schema:
+        shape_text = "x".join(str(d) for d in field.shape) if field.shape else "0"
+        header_parts.append(f"{field.name}:{field.dtype}:{shape_text}")
+    header = "# schema: " + " ".join(header_parts) + "\n"
+
+    formatters = {f.name: _ascii_format(f) for f in schema}
+    for chunk in table.iter_chunks(rows_per_packet):
+        lines = [header]
+        for row in chunk.data:
+            cells = []
+            for field in schema:
+                value = row[field.name]
+                fmt = formatters[field.name]
+                if field.shape:
+                    cells.extend(fmt(v) for v in np.asarray(value).ravel())
+                else:
+                    cells.append(fmt(value))
+            lines.append(" ".join(cells) + "\n")
+        yield "".join(lines)
+
+
+def read_ascii_packets(packets):
+    """Parse an ASCII packet stream back into a table."""
+    tables = []
+    for packet in packets:
+        lines = packet.splitlines()
+        if not lines or not lines[0].startswith("# schema: "):
+            raise ValueError("ASCII packet missing schema header")
+        fields = []
+        for part in lines[0][len("# schema: ") :].split():
+            name, dtype, shape_text = part.split(":")
+            shape = (
+                tuple(int(d) for d in shape_text.split("x"))
+                if shape_text != "0"
+                else ()
+            )
+            fields.append(Field(name, dtype, shape=shape))
+        schema = Schema("ascii_table", fields)
+        data = np.zeros(len(lines) - 1, dtype=schema.numpy_dtype())
+        for row_index, line in enumerate(lines[1:]):
+            cells = line.split()
+            cursor = 0
+            for field in schema:
+                count = 1
+                for dim in field.shape:
+                    count *= dim
+                chunk = cells[cursor : cursor + count]
+                cursor += count
+                if field.shape:
+                    data[field.name][row_index] = np.array(
+                        chunk, dtype=field.dtype
+                    ).reshape(field.shape)
+                else:
+                    data[field.name][row_index] = np.dtype(field.dtype).type(chunk[0])
+        tables.append(ObjectTable(schema, data))
+    if not tables:
+        raise ValueError("empty packet stream")
+    return ObjectTable.concat_all(tables)

@@ -1,0 +1,120 @@
+"""Schema-driven code generation.
+
+*"The SDSS project uses Platinum Technology's Paradigm Plus, a
+commercially available UML tool, to develop and maintain the database
+schema.  The schema is defined in a high level format, and an automated
+script generator creates the .h files for the C++ classes, and the .ddl
+files for Objectivity/DB.  This approach enables us to easily create new
+data model representations in the future (SQL, IDL, XML, etc)."*
+
+Our high-level format is :class:`~repro.catalog.schema.Schema`; these
+functions are the "automated script generator" emitting the concrete
+representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "schema_to_sql",
+    "schema_to_cpp_header",
+    "schema_to_xml_schema",
+    "schema_to_objectivity_ddl",
+]
+
+_SQL_TYPES = {
+    ("u", 1): "SMALLINT",
+    ("i", 2): "SMALLINT",
+    ("i", 4): "INTEGER",
+    ("i", 8): "BIGINT",
+    ("u", 8): "BIGINT",
+    ("f", 4): "REAL",
+    ("f", 8): "DOUBLE PRECISION",
+}
+
+_CPP_TYPES = {
+    ("u", 1): "uint8_t",
+    ("i", 2): "int16_t",
+    ("i", 4): "int32_t",
+    ("i", 8): "int64_t",
+    ("u", 8): "uint64_t",
+    ("f", 4): "float",
+    ("f", 8): "double",
+}
+
+
+def _type_key(field):
+    dtype = np.dtype(field.dtype)
+    return (dtype.kind, dtype.itemsize)
+
+
+def schema_to_sql(schema):
+    """CREATE TABLE statement; subarray fields become numbered columns."""
+    lines = [f"CREATE TABLE {schema.name} ("]
+    columns = []
+    for field in schema:
+        sql_type = _SQL_TYPES.get(_type_key(field))
+        if sql_type is None:
+            raise ValueError(f"no SQL mapping for {field.dtype}")
+        if field.shape:
+            count = int(np.prod(field.shape))
+            for k in range(count):
+                columns.append(f"    {field.name}_{k} {sql_type}")
+        else:
+            comment = f" -- {field.doc}" if field.doc else ""
+            columns.append(f"    {field.name} {sql_type}{comment}")
+    lines.append(",\n".join(columns))
+    lines.append(");")
+    return "\n".join(lines)
+
+
+def schema_to_cpp_header(schema):
+    """A C++ struct declaration (the generated .h file of the paper)."""
+    guard = f"{schema.name.upper()}_H"
+    lines = [
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "#include <cstdint>",
+        "",
+        f"// generated from schema {schema.name!r}; do not edit by hand",
+        f"struct {schema.name} {{",
+    ]
+    for field in schema:
+        cpp_type = _CPP_TYPES.get(_type_key(field))
+        if cpp_type is None:
+            raise ValueError(f"no C++ mapping for {field.dtype}")
+        dims = "".join(f"[{d}]" for d in field.shape)
+        doc = f"  // {field.doc}" if field.doc else ""
+        lines.append(f"    {cpp_type} {field.name}{dims};{doc}")
+    lines.extend(["};", "", f"#endif  // {guard}"])
+    return "\n".join(lines)
+
+
+def schema_to_xml_schema(schema):
+    """An XML schema document describing the record layout."""
+    lines = [f'<recordSchema name="{schema.name}">']
+    for field in schema:
+        attrs = [f'name="{field.name}"', f'dtype="{field.dtype}"']
+        if field.shape:
+            attrs.append('shape="' + "x".join(str(d) for d in field.shape) + '"')
+        if field.unit:
+            attrs.append(f'unit="{field.unit}"')
+        if field.tag:
+            attrs.append('tag="true"')
+        lines.append(f"    <field {' '.join(attrs)}/>")
+    lines.append("</recordSchema>")
+    return "\n".join(lines)
+
+
+def schema_to_objectivity_ddl(schema):
+    """An Objectivity/DB-flavoured .ddl class declaration."""
+    lines = [f"class {schema.name} : public ooObj {{", "  public:"]
+    for field in schema:
+        cpp_type = _CPP_TYPES.get(_type_key(field))
+        if cpp_type is None:
+            raise ValueError(f"no DDL mapping for {field.dtype}")
+        dims = "".join(f"[{d}]" for d in field.shape)
+        lines.append(f"    {cpp_type} {field.name}{dims};")
+    lines.append("};")
+    return "\n".join(lines)

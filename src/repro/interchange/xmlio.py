@@ -1,0 +1,95 @@
+"""XML interchange of query results.
+
+*"We expect large archives to communicate with one another via a
+standard, easily parseable interchange format.  We plan to define the
+interchange formats in XML, XSL, and XQL."*
+
+The document layout is a self-describing ``<catalog>`` with a ``<schema>``
+section (field names, dtypes, shapes, units) followed by ``<object>``
+rows — the moral ancestor of what astronomy later standardized as
+VOTable.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+
+from repro.catalog.schema import Field, Schema
+from repro.catalog.table import ObjectTable
+
+__all__ = ["table_to_xml", "table_from_xml"]
+
+
+def table_to_xml(table, name=None):
+    """Serialize a table to an XML string."""
+    root = ET.Element("catalog", attrib={"name": name or table.schema.name})
+    schema_el = ET.SubElement(root, "schema")
+    for field in table.schema:
+        attrib = {"name": field.name, "dtype": field.dtype}
+        if field.shape:
+            attrib["shape"] = "x".join(str(d) for d in field.shape)
+        if field.unit:
+            attrib["unit"] = field.unit
+        ET.SubElement(schema_el, "field", attrib=attrib)
+
+    data_el = ET.SubElement(root, "data")
+    for row in table.data:
+        row_el = ET.SubElement(data_el, "object")
+        for field in table.schema:
+            value = row[field.name]
+            cell = ET.SubElement(row_el, field.name)
+            if field.shape:
+                flat = np.asarray(value).ravel()
+                cell.text = " ".join(_render(v, field) for v in flat)
+            else:
+                cell.text = _render(value, field)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _render(value, field):
+    kind = np.dtype(field.dtype).kind
+    if kind in "iu":
+        return str(int(value))
+    return f"{float(value):.17g}"
+
+
+def table_from_xml(text):
+    """Parse a document produced by :func:`table_to_xml`."""
+    root = ET.fromstring(text)
+    if root.tag != "catalog":
+        raise ValueError(f"expected <catalog> root, got <{root.tag}>")
+    schema_el = root.find("schema")
+    if schema_el is None:
+        raise ValueError("missing <schema> section")
+    fields = []
+    for field_el in schema_el.findall("field"):
+        shape_text = field_el.get("shape")
+        shape = (
+            tuple(int(d) for d in shape_text.split("x")) if shape_text else ()
+        )
+        fields.append(
+            Field(
+                field_el.get("name"),
+                field_el.get("dtype"),
+                shape=shape,
+                unit=field_el.get("unit", ""),
+            )
+        )
+    schema = Schema(root.get("name", "xml_table"), fields)
+
+    data_el = root.find("data")
+    rows = data_el.findall("object") if data_el is not None else []
+    data = np.zeros(len(rows), dtype=schema.numpy_dtype())
+    for index, row_el in enumerate(rows):
+        for field in schema:
+            cell = row_el.find(field.name)
+            if cell is None or cell.text is None:
+                raise ValueError(f"row {index} missing field {field.name!r}")
+            if field.shape:
+                values = np.array(cell.text.split(), dtype=field.dtype)
+                data[field.name][index] = values.reshape(field.shape)
+            else:
+                data[field.name][index] = np.dtype(field.dtype).type(cell.text)
+    return ObjectTable(schema, data)

@@ -1,0 +1,41 @@
+"""Scalable server architectures: the scan, hash, and river machines.
+
+The paper proposes three machine classes for queries the index cannot
+serve alone:
+
+* the **scan machine** — a data pump continuously sweeping the whole
+  dataset, evaluating every registered user predicate on each object;
+  interactively scheduled, so "the query completes within the scan time";
+* the **hash machine** — a two-phase spatial analogue of relational
+  hash-join: redistribute (with neighborhood edge replication) then
+  compare all pairs within each bucket; the tool for gravitational-lens
+  searches and clustering;
+* the **river machine** — general dataflow graphs whose nodes consume and
+  produce streams with partition parallelism; sorting networks are the
+  simplest examples.
+
+Real algorithms run at laptop scale; the
+:class:`~repro.storage.diskmodel.ClusterModel` supplies simulated-time
+numbers for paper-scale datasets.
+"""
+
+from repro.machines.streams import BoundedStream, StreamStats
+from repro.machines.scan import ScanMachine, ScanQuery, SweepReport
+from repro.machines.hash import HashMachine, HashReport, PairPredicate
+from repro.machines.river import RiverGraph, RiverReport
+from repro.machines.scheduler import MachineScheduler, Job
+
+__all__ = [
+    "BoundedStream",
+    "StreamStats",
+    "ScanMachine",
+    "ScanQuery",
+    "SweepReport",
+    "HashMachine",
+    "HashReport",
+    "PairPredicate",
+    "RiverGraph",
+    "RiverReport",
+    "MachineScheduler",
+    "Job",
+]

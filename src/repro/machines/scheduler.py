@@ -1,0 +1,81 @@
+"""Machine scheduling: interactive scans, batched hash/river jobs.
+
+*"The scan machine will be interactively scheduled: when an astronomer has
+a query, it is added to the query mix immediately. ... The hash and river
+machines will be batch scheduled."*
+
+:class:`MachineScheduler` is a small simulated-time scheduler enforcing
+that policy: scan jobs are admitted immediately (the scan machine
+piggybacks any number of concurrent predicates on its sweep), while hash
+and river jobs queue FIFO per machine and run exclusively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "MachineScheduler"]
+
+
+@dataclass
+class Job:
+    """One submitted job.
+
+    ``machine`` is 'scan', 'hash' or 'river'; ``duration`` is the job's
+    simulated run time (for scan jobs: one full sweep).
+    """
+
+    name: str
+    machine: str
+    duration: float
+    arrival_time: float = 0.0
+    started_at: float = None
+    completed_at: float = None
+
+    def turnaround(self):
+        """Simulated seconds from arrival to completion."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival_time
+
+
+class MachineScheduler:
+    """Simulated-time admission control for the three machine classes."""
+
+    BATCH_MACHINES = ("hash", "river")
+
+    def __init__(self):
+        self.completed = []
+
+    def run(self, jobs):
+        """Schedule all jobs; returns them with times filled in.
+
+        Scan jobs overlap freely (shared sweep: a scan job admitted at
+        time t completes at t + duration regardless of other scan jobs).
+        Batch jobs serialize per machine in arrival order.
+        """
+        jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.name))
+        machine_free_at = {machine: 0.0 for machine in self.BATCH_MACHINES}
+
+        for job in jobs:
+            if job.machine == "scan":
+                job.started_at = job.arrival_time
+                job.completed_at = job.started_at + job.duration
+            elif job.machine in machine_free_at:
+                start = max(job.arrival_time, machine_free_at[job.machine])
+                job.started_at = start
+                job.completed_at = start + job.duration
+                machine_free_at[job.machine] = job.completed_at
+            else:
+                raise ValueError(f"unknown machine {job.machine!r}")
+            self.completed.append(job)
+        return jobs
+
+    def mean_turnaround(self, machine=None):
+        """Average turnaround of completed jobs (optionally one machine)."""
+        relevant = [
+            j for j in self.completed if machine is None or j.machine == machine
+        ]
+        if not relevant:
+            return 0.0
+        return sum(j.turnaround() for j in relevant) / len(relevant)

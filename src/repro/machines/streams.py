@@ -1,0 +1,74 @@
+"""Stream plumbing shared by the machine implementations.
+
+Machines exchange :class:`~repro.catalog.table.ObjectTable` batches over
+bounded queues with a sentinel close protocol, mirroring the query
+engine's streams but supporting multiple producers (fan-in) and byte/row
+accounting for throughput reports.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+
+__all__ = ["BoundedStream", "StreamStats"]
+
+_SENTINEL = object()
+
+
+@dataclass
+class StreamStats:
+    """Rows and bytes that crossed a stream."""
+
+    rows: int = 0
+    batches: int = 0
+    nbytes: int = 0
+
+
+class BoundedStream:
+    """Multi-producer, single-consumer batch stream.
+
+    Producers call :meth:`register_producer` before starting and
+    :meth:`close` when done; the consumer sees end-of-stream when every
+    registered producer has closed.
+    """
+
+    def __init__(self, maxsize=16):
+        self._queue = queue.Queue(maxsize=maxsize)
+        self._lock = threading.Lock()
+        self._producers = 0
+        self._closed_producers = 0
+        self.stats = StreamStats()
+
+    def register_producer(self):
+        """Announce one more producer; returns self for chaining."""
+        with self._lock:
+            if self._producers == -1:
+                raise RuntimeError("stream already fully closed")
+            self._producers += 1
+        return self
+
+    def push(self, batch):
+        """Send one batch (blocking on backpressure)."""
+        self._queue.put(batch)
+        with self._lock:
+            self.stats.rows += len(batch)
+            self.stats.batches += 1
+            self.stats.nbytes += batch.nbytes()
+
+    def close(self):
+        """One producer is done; the last close releases the consumer."""
+        with self._lock:
+            self._closed_producers += 1
+            if self._closed_producers >= max(self._producers, 1):
+                self._queue.put(_SENTINEL)
+                self._producers = -1
+
+    def __iter__(self):
+        """Consumer: yields batches until all producers closed."""
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            yield item

@@ -1,0 +1,33 @@
+"""The parallel, streaming query system of the Science Archive.
+
+*"Each query received from the User Interface is parsed into a Query
+Execution Tree (QET) that is then executed by the Query Engine.  Each node
+of the QET is either a query or a set-operation node, and returns a bag of
+object-pointers upon execution.  The multi-threaded Query Engine executes
+in parallel at all the nodes at a given level of the QET.  Results from
+child nodes are passed up the tree as soon as they are generated."*
+
+Pipeline: SQL-ish text -> :mod:`lexer` -> :mod:`parser` (AST in
+:mod:`ast_nodes`) -> :mod:`optimizer` (spatial-region extraction, tag
+routing, cost estimates) -> :mod:`qet` (execution tree) -> :mod:`engine`
+(threads + ASAP push).
+"""
+
+from repro.query.errors import QueryError, ParseError, PlanError
+from repro.query.parser import parse_query
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.optimizer import QueryPlan, plan_query
+from repro.query.predicates import compile_predicate, extract_spatial_region
+
+__all__ = [
+    "QueryError",
+    "ParseError",
+    "PlanError",
+    "parse_query",
+    "QueryEngine",
+    "QueryResult",
+    "QueryPlan",
+    "plan_query",
+    "compile_predicate",
+    "extract_spatial_region",
+]

@@ -1,0 +1,116 @@
+"""Abstract syntax tree of the query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Column",
+    "Literal",
+    "UnaryOp",
+    "BinaryOp",
+    "FuncCall",
+    "OrderTerm",
+    "Select",
+    "SetOp",
+    "walk_expr",
+]
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """Reference to a table column by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A number, string, or boolean constant."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: 'NOT' or '-'."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Function call: math (ABS, SQRT, ...) or spatial (CIRCLE, RECT, ...)."""
+
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class OrderTerm:
+    """One ORDER BY term."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A single SELECT statement.
+
+    ``columns`` is a list of (expr, alias-or-None); the empty list means
+    ``SELECT *``.  ``source`` names the table ('photo', 'tag', 'spectro').
+    ``group_by`` lists grouping expressions; ``having`` filters groups
+    (references output column names).
+    """
+
+    columns: tuple
+    source: str
+    where: Expr | None = None
+    group_by: tuple = ()
+    having: Expr | None = None
+    order_by: tuple = ()
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class SetOp:
+    """UNION / INTERSECT / EXCEPT of two query trees.
+
+    These become the paper's set-operation QET nodes operating on bags of
+    object pointers.
+    """
+
+    op: str
+    left: object
+    right: object
+
+
+def walk_expr(expr):
+    """Depth-first generator over an expression tree."""
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)

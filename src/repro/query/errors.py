@@ -1,0 +1,30 @@
+"""Exception types of the query system."""
+
+from __future__ import annotations
+
+__all__ = ["QueryError", "ParseError", "PlanError", "ExecutionError"]
+
+
+class QueryError(Exception):
+    """Base class for all query-system errors."""
+
+
+class ParseError(QueryError):
+    """Raised when query text cannot be tokenized or parsed.
+
+    Carries the offending position when known.
+    """
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(QueryError):
+    """Raised when a parsed query cannot be planned against the schema."""
+
+
+class ExecutionError(QueryError):
+    """Raised when a QET node fails during execution."""

@@ -1,0 +1,121 @@
+"""Tokenizer for the archive query language.
+
+A deliberately small SQL dialect: SELECT lists, WHERE expressions with
+arithmetic and Boolean operators, spatial predicate functions, ORDER BY,
+LIMIT, and the set operators UNION / INTERSECT / EXCEPT between
+parenthesized selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "ORDER",
+    "GROUP",
+    "HAVING",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "UNION",
+    "INTERSECT",
+    "EXCEPT",
+    "AS",
+    "TRUE",
+    "FALSE",
+}
+
+#: Multi-character operators, longest first so '>=' wins over '>'.
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'keyword', 'ident', 'number', 'string', 'op', 'eof'."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text):
+    """Tokenize query text; raises :class:`ParseError` on illegal characters."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and text[i] in "+-":
+                        i += 1
+                else:
+                    break
+            tokens.append(Token("number", text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = i
+            i += 1
+            chars = []
+            while i < n and text[i] != quote:
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated string literal", start)
+            i += 1
+            tokens.append(Token("string", "".join(chars), start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"illegal character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

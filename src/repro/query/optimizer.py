@@ -1,0 +1,273 @@
+"""Query planning: index selection, tag routing, aggregation, cost prediction.
+
+Decisions the paper describes:
+
+* **spatial index use** — the WHERE clause's positive spatial terms become
+  a region whose HTM cover prunes containers ("only the bisected container
+  category is searched");
+* **tag routing** — "small tag objects consisting of the most popular
+  attributes speed up frequent searches": if every referenced column is
+  available on the tag table, the plan reads tags instead of full records;
+* **aggregation** — GROUP BY selects plan an aggregate node (one of the
+  paper's pipeline-breaking QET node kinds) with HAVING as a post-filter;
+* **cost prediction** — "a prediction of the output data volume and search
+  time can be computed from the intersection volume", via the
+  :class:`~repro.htm.depthmap.DensityMap` when one is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Field as SchemaField
+from repro.catalog.schema import Schema
+from repro.query.ast_nodes import Column, FuncCall, OrderTerm, Select, walk_expr
+from repro.query.errors import PlanError
+from repro.query.predicates import (
+    compile_predicate,
+    compile_scalar,
+    extract_spatial_region,
+    referenced_columns,
+)
+
+__all__ = ["QueryPlan", "plan_query", "AGGREGATE_FUNCTIONS"]
+
+#: Aggregate function names recognized in select lists.
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass
+class QueryPlan:
+    """Executable plan for one SELECT.
+
+    Attributes
+    ----------
+    source:
+        Logical table name requested in the query.
+    routed_source:
+        Physical table chosen by the optimizer (may be ``'tag'``).
+    region:
+        Spatial region for the HTM cover, or ``None`` (full scan).
+    predicate:
+        Compiled WHERE mask function.
+    projection:
+        ``(name, hint, fn)`` triples for the ProjectNode; empty = ``*``.
+        Unused when ``is_aggregate``.
+    order_key_fns / order_descending:
+        Compiled ORDER BY keys (against the output schema for
+        aggregates).
+    limit:
+        Row limit or ``None``.
+    is_aggregate / group_specs / aggregate_specs / output_order / having_fn:
+        Aggregation plan parts for the AggregateNode and HAVING filter.
+    estimate:
+        Optional :class:`~repro.htm.depthmap.CostEstimate`.
+    """
+
+    source: str
+    routed_source: str
+    region: object
+    predicate: object
+    projection: list
+    order_key_fns: list = field(default_factory=list)
+    order_descending: list = field(default_factory=list)
+    limit: int | None = None
+    is_aggregate: bool = False
+    group_specs: list = field(default_factory=list)
+    aggregate_specs: list = field(default_factory=list)
+    output_order: list = field(default_factory=list)
+    having_fn: object = None
+    estimate: object = None
+    used_tag_route: bool = False
+    used_spatial_index: bool = False
+
+
+def _projection_name(expr, alias, index):
+    if alias:
+        return alias
+    if isinstance(expr, Column):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        return f"{expr.name.lower()}{index}"
+    return f"col{index}"
+
+
+def _contains_aggregate(expr):
+    return any(
+        isinstance(node, FuncCall) and node.name in AGGREGATE_FUNCTIONS
+        for node in walk_expr(expr)
+    )
+
+
+def _plan_aggregation(select, schema, order_terms):
+    """Build group/aggregate specs and output-schema-based compilations."""
+    if not select.columns:
+        raise PlanError("aggregate queries must list explicit select columns")
+
+    group_specs = []
+    aggregate_specs = []
+    output_order = []
+    matched_group_exprs = set()
+
+    for index, (expr, alias) in enumerate(select.columns):
+        name = _projection_name(expr, alias, index)
+        output_order.append(name)
+        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+            if len(expr.args) != 1:
+                raise PlanError(f"{expr.name} takes exactly one argument")
+            if _contains_aggregate(expr.args[0]):
+                raise PlanError("nested aggregates are not supported")
+            aggregate_specs.append(
+                (name, expr.name, compile_scalar(expr.args[0], schema))
+            )
+        elif expr in select.group_by:
+            matched_group_exprs.add(expr)
+            group_specs.append((name, compile_scalar(expr, schema)))
+        elif _contains_aggregate(expr):
+            raise PlanError(
+                "aggregates must be the whole select expression "
+                "(e.g. MAX(mag_r), not MAX(mag_r) - 1)"
+            )
+        else:
+            raise PlanError(
+                f"column {name!r} must appear in GROUP BY or be an aggregate"
+            )
+
+    # Grouping keys not in the select list still group (name=None).
+    for expr in select.group_by:
+        if expr not in matched_group_exprs:
+            group_specs.append((None, compile_scalar(expr, schema)))
+
+    output_schema = Schema(
+        "aggregation_output", [SchemaField(n, "f8") for n in output_order]
+    )
+    having_fn = (
+        compile_predicate(select.having, output_schema)
+        if select.having is not None
+        else None
+    )
+    order_key_fns = [
+        compile_scalar(term.expr, output_schema) for term in order_terms
+    ]
+    order_descending = [term.descending for term in order_terms]
+    return (
+        group_specs,
+        aggregate_specs,
+        output_order,
+        having_fn,
+        order_key_fns,
+        order_descending,
+    )
+
+
+def plan_query(select, schemas, density_maps=None, allow_tag_route=True):
+    """Plan one :class:`~repro.query.ast_nodes.Select`.
+
+    Parameters
+    ----------
+    select:
+        The parsed Select node.
+    schemas:
+        Mapping of source name -> :class:`Schema` for the available
+        physical tables (e.g. ``{'photo': ..., 'tag': ..., 'spectro': ...}``).
+    density_maps:
+        Optional mapping of source name -> :class:`DensityMap` used for
+        cost prediction.
+    allow_tag_route:
+        Disable to benchmark the un-routed plan.
+    """
+    if not isinstance(select, Select):
+        raise PlanError(f"expected a Select, got {type(select).__name__}")
+    if select.source not in schemas:
+        raise PlanError(
+            f"unknown source {select.source!r}; have {sorted(schemas)}"
+        )
+
+    is_aggregate = bool(select.group_by) or any(
+        _contains_aggregate(expr) for expr, _alias in select.columns
+    )
+    if select.having is not None and not is_aggregate:
+        raise PlanError("HAVING requires GROUP BY or aggregate columns")
+
+    # ORDER BY may name select-list aliases; substitute them up front.
+    # (Aggregate plans sort on output columns instead, no substitution.)
+    aliases = {
+        alias: expr for expr, alias in select.columns if alias is not None
+    }
+    order_terms = [
+        OrderTerm(aliases[term.expr.name], term.descending)
+        if not is_aggregate
+        and isinstance(term.expr, Column)
+        and term.expr.name in aliases
+        else term
+        for term in select.order_by
+    ]
+
+    # Which source columns does the query touch?  SELECT * touches
+    # everything in the requested source, so it can never be tag-routed
+    # to a narrower physical table.  For aggregates, HAVING and ORDER BY
+    # reference *output* names and are excluded here.
+    exprs = [expr for expr, _alias in select.columns]
+    exprs.append(select.where)
+    exprs.extend(select.group_by)
+    if not is_aggregate:
+        exprs.extend(term.expr for term in order_terms)
+    needed = referenced_columns([e for e in exprs if e is not None])
+    if not select.columns:
+        needed |= set(schemas[select.source].field_names())
+
+    # Tag routing: photo queries touching only tag attributes read tags.
+    routed = select.source
+    used_tag_route = False
+    if (
+        allow_tag_route
+        and select.source == "photo"
+        and "tag" in schemas
+        and needed <= set(schemas["tag"].field_names())
+    ):
+        routed = "tag"
+        used_tag_route = True
+
+    schema = schemas[routed]
+    missing = sorted(needed - set(schema.field_names()))
+    if missing:
+        raise PlanError(
+            f"columns {missing} not available on source {routed!r}"
+        )
+
+    region = extract_spatial_region(select.where)
+    predicate = compile_predicate(select.where, schema)
+
+    plan = QueryPlan(
+        source=select.source,
+        routed_source=routed,
+        region=region,
+        predicate=predicate,
+        projection=[],
+        limit=select.limit,
+        used_tag_route=used_tag_route,
+        used_spatial_index=region is not None,
+    )
+
+    if is_aggregate:
+        (
+            plan.group_specs,
+            plan.aggregate_specs,
+            plan.output_order,
+            plan.having_fn,
+            plan.order_key_fns,
+            plan.order_descending,
+        ) = _plan_aggregation(select, schema, order_terms)
+        plan.is_aggregate = True
+    else:
+        for index, (expr, alias) in enumerate(select.columns):
+            name = _projection_name(expr, alias, index)
+            plan.projection.append((name, None, compile_scalar(expr, schema)))
+        plan.order_key_fns = [
+            compile_scalar(term.expr, schema) for term in order_terms
+        ]
+        plan.order_descending = [term.descending for term in order_terms]
+
+    if region is not None and density_maps and routed in density_maps:
+        plan.estimate = density_maps[routed].estimate(region)
+    return plan

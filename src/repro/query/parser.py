@@ -1,0 +1,283 @@
+"""Recursive-descent parser for the archive query language.
+
+Grammar (roughly)::
+
+    query       := set_expr
+    set_expr    := atom (("UNION" | "INTERSECT" | "EXCEPT") atom)*
+    atom        := select | "(" set_expr ")"
+    select      := "SELECT" select_list "FROM" ident
+                   ["WHERE" or_expr]
+                   ["ORDER" "BY" order_list]
+                   ["LIMIT" number]
+    select_list := "*" | expr ["AS" ident] ("," expr ["AS" ident])*
+    or_expr     := and_expr ("OR" and_expr)*
+    and_expr    := not_expr ("AND" not_expr)*
+    not_expr    := "NOT" not_expr | comparison
+    comparison  := additive (("="|"!="|"<>"|"<"|"<="|">"|">=") additive)?
+    additive    := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/") unary)*
+    unary       := "-" unary | primary
+    primary     := number | string | TRUE | FALSE | ident
+                 | ident "(" [expr ("," expr)*] ")" | "(" or_expr ")"
+
+Set operators associate left and have equal precedence (parenthesize to
+disambiguate, as the examples do).
+"""
+
+from __future__ import annotations
+
+from repro.query.ast_nodes import (
+    BinaryOp,
+    Column,
+    FuncCall,
+    Literal,
+    OrderTerm,
+    Select,
+    SetOp,
+    UnaryOp,
+)
+from repro.query.errors import ParseError
+from repro.query.lexer import tokenize
+
+__all__ = ["parse_query", "parse_expression"]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            expected = value or kind
+            raise ParseError(
+                f"expected {expected!r}, found {actual.value or actual.kind!r}",
+                actual.position,
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+
+    def parse_query(self):
+        node = self.parse_atom()
+        while self.check("keyword", "UNION") or self.check("keyword", "INTERSECT") or self.check(
+            "keyword", "EXCEPT"
+        ):
+            op = self.advance().value
+            right = self.parse_atom()
+            node = SetOp(op, node, right)
+        self.expect("eof")
+        return node
+
+    def parse_atom(self):
+        if self.accept("op", "("):
+            node = self.parse_set_expr()
+            self.expect("op", ")")
+            return node
+        return self.parse_select()
+
+    def parse_set_expr(self):
+        node = self.parse_atom()
+        while self.check("keyword", "UNION") or self.check("keyword", "INTERSECT") or self.check(
+            "keyword", "EXCEPT"
+        ):
+            op = self.advance().value
+            right = self.parse_atom()
+            node = SetOp(op, node, right)
+        return node
+
+    def parse_select(self):
+        self.expect("keyword", "SELECT")
+        columns = self.parse_select_list()
+        self.expect("keyword", "FROM")
+        source = self.expect("ident").value.lower()
+        where = None
+        if self.accept("keyword", "WHERE"):
+            where = self.parse_or()
+        group_by = ()
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            terms = [self.parse_or()]
+            while self.accept("op", ","):
+                terms.append(self.parse_or())
+            group_by = tuple(terms)
+        having = None
+        if self.accept("keyword", "HAVING"):
+            having = self.parse_or()
+        order_by = ()
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            order_by = tuple(self.parse_order_list())
+        limit = None
+        if self.accept("keyword", "LIMIT"):
+            token = self.expect("number")
+            limit = int(float(token.value))
+            if limit < 0:
+                raise ParseError("LIMIT must be non-negative", token.position)
+        return Select(
+            columns=tuple(columns),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def parse_select_list(self):
+        if self.accept("op", "*"):
+            return []
+        columns = []
+        while True:
+            expr = self.parse_or()
+            alias = None
+            if self.accept("keyword", "AS"):
+                alias = self.expect("ident").value
+            columns.append((expr, alias))
+            if not self.accept("op", ","):
+                break
+        return columns
+
+    def parse_order_list(self):
+        terms = []
+        while True:
+            expr = self.parse_or()
+            descending = False
+            if self.accept("keyword", "DESC"):
+                descending = True
+            else:
+                self.accept("keyword", "ASC")
+            terms.append(OrderTerm(expr, descending))
+            if not self.accept("op", ","):
+                break
+        return terms
+
+    # expressions -------------------------------------------------------
+
+    def parse_or(self):
+        node = self.parse_and()
+        while self.accept("keyword", "OR"):
+            node = BinaryOp("OR", node, self.parse_and())
+        return node
+
+    def parse_and(self):
+        node = self.parse_not()
+        while self.accept("keyword", "AND"):
+            node = BinaryOp("AND", node, self.parse_not())
+        return node
+
+    def parse_not(self):
+        if self.accept("keyword", "NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    _COMPARISONS = ("=", "!=", "<>", "<=", ">=", "<", ">")
+
+    def parse_comparison(self):
+        node = self.parse_additive()
+        for op in self._COMPARISONS:
+            if self.check("op", op):
+                self.advance()
+                right = self.parse_additive()
+                canonical = "!=" if op == "<>" else op
+                return BinaryOp(canonical, node, right)
+        return node
+
+    def parse_additive(self):
+        node = self.parse_multiplicative()
+        while True:
+            if self.accept("op", "+"):
+                node = BinaryOp("+", node, self.parse_multiplicative())
+            elif self.accept("op", "-"):
+                node = BinaryOp("-", node, self.parse_multiplicative())
+            else:
+                return node
+
+    def parse_multiplicative(self):
+        node = self.parse_unary()
+        while True:
+            if self.accept("op", "*"):
+                node = BinaryOp("*", node, self.parse_unary())
+            elif self.accept("op", "/"):
+                node = BinaryOp("/", node, self.parse_unary())
+            else:
+                return node
+
+    def parse_unary(self):
+        if self.accept("op", "-"):
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value == "TRUE")
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_or())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return FuncCall(token.value.upper(), tuple(args))
+            return Column(token.value)
+        if self.accept("op", "("):
+            node = self.parse_or()
+            self.expect("op", ")")
+            return node
+        raise ParseError(
+            f"unexpected token {token.value or token.kind!r}", token.position
+        )
+
+
+def parse_query(text):
+    """Parse query text into a :class:`Select` or :class:`SetOp` tree."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+def parse_expression(text):
+    """Parse a bare expression (used in tests and interactive tools)."""
+    parser = _Parser(tokenize(text))
+    node = parser.parse_or()
+    parser.expect("eof")
+    return node

@@ -1,0 +1,543 @@
+"""Query Execution Tree nodes.
+
+*"Each node of the QET is either a query or a set-operation node, and
+returns a bag of object-pointers upon execution. ... Results from child
+nodes are passed up the tree as soon as they are generated.  In the case
+of aggregation, sort, intersection and difference nodes, at least one of
+the child nodes must be complete before results can be sent further up the
+tree."*
+
+Nodes communicate through bounded :class:`Stream` queues of
+:class:`~repro.catalog.table.ObjectTable` batches; every node runs in its
+own thread (see :mod:`repro.query.engine`), so producers block on
+backpressure instead of materializing intermediates — the ASAP push
+strategy.  Bags are keyed by ``objid`` (the object pointer) for the set
+operations.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.schema import Field as SchemaField
+from repro.catalog.schema import Schema
+from repro.catalog.table import ObjectTable
+from repro.query.errors import ExecutionError
+
+__all__ = [
+    "Stream",
+    "NodeStats",
+    "QETNode",
+    "ScanNode",
+    "ProjectNode",
+    "SortNode",
+    "LimitNode",
+    "FilterNode",
+    "AggregateNode",
+    "UnionNode",
+    "IntersectNode",
+    "DifferenceNode",
+]
+
+_SENTINEL = object()
+
+
+class Stream:
+    """Bounded batch queue with cooperative cancellation.
+
+    ``push`` returns False once the consumer cancelled, letting producers
+    stop early (e.g. below a satisfied LIMIT).
+    """
+
+    def __init__(self, maxsize=8):
+        self._queue = queue.Queue(maxsize=maxsize)
+        self._cancelled = threading.Event()
+        self.error = None
+
+    def cancel(self):
+        """Consumer signals it needs no more batches."""
+        self._cancelled.set()
+        # Drain so a blocked producer wakes up.
+        try:
+            while True:
+                self._queue.get_nowait()
+        except queue.Empty:
+            pass
+
+    def cancelled(self):
+        return self._cancelled.is_set()
+
+    def push(self, batch):
+        """Producer side; returns False if the consumer cancelled.
+
+        The post-put re-check matters: a put blocked on a full queue can
+        succeed *because* cancel() drained it, and the producer must
+        still learn that nobody is listening.
+        """
+        while not self._cancelled.is_set():
+            try:
+                self._queue.put(batch, timeout=0.05)
+                return not self._cancelled.is_set()
+            except queue.Full:
+                continue
+        return False
+
+    def close(self):
+        """Producer signals end of stream."""
+        self.push(_SENTINEL)
+
+    def fail(self, exc):
+        """Producer signals an error; consumers re-raise."""
+        self.error = exc
+        self.push(_SENTINEL)
+
+    def __iter__(self):
+        """Consumer side: yields batches until the sentinel."""
+        while True:
+            batch = self._queue.get()
+            if batch is _SENTINEL:
+                if self.error is not None:
+                    raise ExecutionError(str(self.error)) from self.error
+                return
+            yield batch
+
+
+@dataclass
+class NodeStats:
+    """Per-node execution counters."""
+
+    rows_out: int = 0
+    batches_out: int = 0
+    started_at: float = 0.0
+    first_output_at: float = None
+    finished_at: float = None
+
+    def note_batch(self, rows):
+        now = time.perf_counter()
+        if self.first_output_at is None:
+            self.first_output_at = now
+        self.rows_out += rows
+        self.batches_out += 1
+
+
+class QETNode:
+    """Base class: a node with children, an output stream, and a thread."""
+
+    name = "node"
+
+    def __init__(self, children=()):
+        self.children = list(children)
+        self.output = Stream()
+        self.stats = NodeStats()
+        self._thread = None
+
+    def start(self):
+        """Start this node's thread (children are started by the engine)."""
+        self.stats.started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._run_guarded, daemon=True)
+        self._thread.start()
+
+    def join(self, timeout=None):
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _run_guarded(self):
+        try:
+            self.run()
+            self.output.close()
+        except Exception as exc:  # propagate to the consumer
+            for child in self.children:
+                child.output.cancel()
+            self.output.fail(exc)
+        finally:
+            self.stats.finished_at = time.perf_counter()
+
+    def _emit(self, batch):
+        """Push a batch upward; returns False when cancelled."""
+        if len(batch) == 0:
+            return not self.output.cancelled()
+        ok = self.output.push(batch)
+        if ok:
+            self.stats.note_batch(len(batch))
+        return ok
+
+    def run(self):
+        raise NotImplementedError
+
+    def walk(self):
+        """Generator over the subtree (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self):
+        return f"{type(self).__name__}(children={len(self.children)})"
+
+
+class ScanNode(QETNode):
+    """Leaf query node: reads a container store through the spatial index.
+
+    ``plan`` is a :class:`~repro.query.optimizer.QueryPlan`; batches are
+    emitted per container, as soon as each container is filtered — the
+    user sees rows while the scan is still running.
+    """
+
+    name = "scan"
+
+    def __init__(self, store, plan, batch_rows=4096):
+        super().__init__(())
+        self.store = store
+        self.plan = plan
+        self.batch_rows = int(batch_rows)
+
+    def run(self):
+        predicate = self.plan.predicate
+        region = self.plan.region
+        if region is not None:
+            iterator = self._scan_with_index(region, predicate)
+        else:
+            iterator = self._scan_all(predicate)
+        for batch in iterator:
+            for piece in batch.iter_chunks(self.batch_rows):
+                if not self._emit(piece.take(slice(None))):
+                    return
+
+    def _scan_with_index(self, region, predicate):
+        from repro.htm.cover import cover_region
+
+        coverage = cover_region(region, self.store.depth)
+        for htm_id, container in self.store.containers.items():
+            if self.output.cancelled():
+                return
+            if coverage.inside.contains(htm_id):
+                mask = predicate(container.table)
+            elif coverage.partial.contains(htm_id):
+                mask = region.contains(container.table.positions_xyz())
+                mask &= predicate(container.table)
+            else:
+                continue
+            selected = container.table.select(np.asarray(mask, dtype=bool))
+            if len(selected):
+                yield selected
+
+    def _scan_all(self, predicate):
+        for container in self.store.containers.values():
+            if self.output.cancelled():
+                return
+            mask = np.asarray(predicate(container.table), dtype=bool)
+            selected = container.table.select(mask)
+            if len(selected):
+                yield selected
+
+
+class ProjectNode(QETNode):
+    """Evaluates the select list over each incoming batch.
+
+    ``projection`` is a list of ``(name, dtype_hint_or_None, fn)``; the
+    output schema is constructed from the first batch's evaluated dtypes.
+    An empty projection list means pass-through (``SELECT *``).
+    """
+
+    name = "project"
+
+    def __init__(self, child, projection):
+        super().__init__((child,))
+        self.projection = list(projection)
+        self._schema = None
+
+    def run(self):
+        child = self.children[0]
+        for batch in child.output:
+            if not self.projection:
+                if not self._emit(batch):
+                    child.output.cancel()
+                    return
+                continue
+            projected = self._project(batch)
+            if not self._emit(projected):
+                child.output.cancel()
+                return
+
+    def _project(self, batch):
+        columns = {}
+        for name, _hint, fn in self.projection:
+            value = fn(batch)
+            value = np.asarray(value)
+            if value.shape == ():
+                value = np.full(len(batch), value)
+            columns[name] = value
+        if self._schema is None:
+            fields = []
+            for name, _hint, _fn in self.projection:
+                arr = columns[name]
+                shape = arr.shape[1:]
+                fields.append(SchemaField(name, arr.dtype.str, shape=tuple(shape)))
+            self._schema = Schema("projection", fields)
+        return ObjectTable.from_columns(self._schema, columns)
+
+
+class SortNode(QETNode):
+    """ORDER BY: a pipeline breaker.
+
+    The child must complete before any row is emitted (exactly the
+    paper's caveat about sort nodes).  ``key_fns`` are evaluated against
+    the drained table; later keys break ties of earlier ones.
+    """
+
+    name = "sort"
+
+    def __init__(self, child, key_fns, descending_flags):
+        super().__init__((child,))
+        self.key_fns = list(key_fns)
+        self.descending_flags = list(descending_flags)
+
+    def run(self):
+        child = self.children[0]
+        batches = list(child.output)
+        if not batches:
+            return
+        table = ObjectTable.concat_all(batches)
+        order = np.arange(len(table))
+        # Stable sorts applied from the least-significant key backwards.
+        for key_fn, descending in reversed(list(zip(self.key_fns, self.descending_flags))):
+            keys = np.asarray(key_fn(table.take(order)))
+            sub_order = np.argsort(keys, kind="stable")
+            if descending:
+                sub_order = sub_order[::-1]
+            order = order[sub_order]
+        self._emit(table.take(order))
+
+
+class LimitNode(QETNode):
+    """LIMIT: forwards rows until the quota is filled, then cancels below."""
+
+    name = "limit"
+
+    def __init__(self, child, limit):
+        super().__init__((child,))
+        self.limit = int(limit)
+
+    def run(self):
+        child = self.children[0]
+        remaining = self.limit
+        if remaining == 0:
+            child.output.cancel()
+            return
+        for batch in child.output:
+            if len(batch) > remaining:
+                batch = batch.take(np.arange(remaining))
+            remaining -= len(batch)
+            if not self._emit(batch):
+                child.output.cancel()
+                return
+            if remaining <= 0:
+                child.output.cancel()
+                return
+
+
+class FilterNode(QETNode):
+    """Row filter over streaming batches (used for HAVING on aggregates)."""
+
+    name = "filter"
+
+    def __init__(self, child, mask_fn):
+        super().__init__((child,))
+        self.mask_fn = mask_fn
+
+    def run(self):
+        child = self.children[0]
+        for batch in child.output:
+            mask = np.asarray(self.mask_fn(batch), dtype=bool)
+            if mask.shape == ():
+                mask = np.full(len(batch), bool(mask))
+            selected = batch.select(mask)
+            if len(selected):
+                if not self._emit(selected):
+                    child.output.cancel()
+                    return
+
+
+class AggregateNode(QETNode):
+    """GROUP BY aggregation: a pipeline breaker like sort.
+
+    ``group_specs`` is a list of ``(name, fn)`` for grouping keys — a
+    ``None`` name groups by the key without emitting it as a column;
+    ``aggregate_specs`` is a list of ``(name, kind, fn)`` where ``kind``
+    is one of COUNT/SUM/AVG/MIN/MAX and ``fn`` evaluates the aggregated
+    expression over input rows.  Output columns appear in
+    ``output_order`` (a list of names drawn from both spec lists), so the
+    select-list order is preserved.
+
+    Per the paper, the child must complete before any group can be
+    emitted ("in the case of aggregation ... nodes, at least one of the
+    child nodes must be complete").
+    """
+
+    name = "aggregate"
+
+    _REDUCERS = {
+        "COUNT": lambda values: values.shape[0],
+        "SUM": np.sum,
+        "AVG": np.mean,
+        "MIN": np.min,
+        "MAX": np.max,
+    }
+
+    def __init__(self, child, group_specs, aggregate_specs, output_order):
+        super().__init__((child,))
+        self.group_specs = list(group_specs)
+        self.aggregate_specs = list(aggregate_specs)
+        self.output_order = list(output_order)
+
+    def run(self):
+        child = self.children[0]
+        batches = list(child.output)
+        if not batches:
+            return
+        table = ObjectTable.concat_all(batches)
+
+        if self.group_specs:
+            key_arrays = [np.asarray(fn(table)) for _name, fn in self.group_specs]
+            order = np.lexsort(key_arrays[::-1])
+            sorted_keys = [k[order] for k in key_arrays]
+            boundary = np.zeros(len(table), dtype=bool)
+            boundary[0] = True
+            for keys in sorted_keys:
+                boundary[1:] |= keys[1:] != keys[:-1]
+            starts = np.nonzero(boundary)[0]
+            groups = np.split(order, starts[1:])
+        else:
+            groups = [np.arange(len(table))]  # one global group
+
+        columns = {name: [] for name in self.output_order}
+        for group in groups:
+            group_table = table.take(group)
+            for name, fn in self.group_specs:
+                if name is None:
+                    continue
+                columns[name].append(np.asarray(fn(group_table)).ravel()[0])
+            for name, kind, fn in self.aggregate_specs:
+                values = np.asarray(fn(group_table))
+                if values.shape == ():
+                    values = np.full(len(group_table), values)
+                columns[name].append(self._REDUCERS[kind](values))
+
+        arrays = {
+            name: np.asarray(values) for name, values in columns.items()
+        }
+        fields = [
+            SchemaField(name, arrays[name].dtype.str) for name in self.output_order
+        ]
+        schema = Schema("aggregation", fields)
+        self._emit(ObjectTable.from_columns(schema, arrays))
+
+
+def _objids(batch):
+    if "objid" not in batch.schema:
+        raise ExecutionError(
+            "set operations need the objid pointer column in both operands"
+        )
+    return np.asarray(batch["objid"], dtype=np.int64)
+
+
+class UnionNode(QETNode):
+    """Bag union with pointer dedup: streams both children concurrently.
+
+    The first occurrence of each objid wins; later duplicates are
+    dropped.  No pipeline breaking — rows flow as soon as either child
+    produces them.
+    """
+
+    name = "union"
+
+    def __init__(self, left, right):
+        super().__init__((left, right))
+
+    def run(self):
+        seen = set()
+        seen_lock = threading.Lock()
+        merged = Stream(maxsize=16)
+        done = threading.Semaphore(0)
+
+        def drain(child):
+            try:
+                for batch in child.output:
+                    if merged.cancelled():
+                        child.output.cancel()
+                        return
+                    merged.push(batch)
+            finally:
+                done.release()
+
+        threads = [
+            threading.Thread(target=drain, args=(c,), daemon=True) for c in self.children
+        ]
+        for t in threads:
+            t.start()
+
+        closer = threading.Thread(
+            target=lambda: (done.acquire(), done.acquire(), merged.close()), daemon=True
+        )
+        closer.start()
+
+        for batch in merged:
+            ids = _objids(batch)
+            with seen_lock:
+                fresh = np.fromiter(
+                    (i not in seen for i in ids), count=ids.shape[0], dtype=bool
+                )
+                seen.update(ids[fresh].tolist())
+            if fresh.any():
+                if not self._emit(batch.select(fresh)):
+                    for child in self.children:
+                        child.output.cancel()
+                    merged.cancel()
+                    return
+        for t in threads:
+            t.join()
+
+
+class _HashedRightNode(QETNode):
+    """Shared base for intersect/difference: drains the right child into a
+    hash set of pointers first, then streams the left child through it —
+    "at least one of the child nodes must be complete"."""
+
+    keep_if_present = True
+
+    def __init__(self, left, right):
+        super().__init__((left, right))
+
+    def run(self):
+        left, right = self.children
+        right_ids = set()
+        for batch in right.output:
+            right_ids.update(_objids(batch).tolist())
+        for batch in left.output:
+            ids = _objids(batch)
+            present = np.fromiter(
+                (i in right_ids for i in ids), count=ids.shape[0], dtype=bool
+            )
+            mask = present if self.keep_if_present else ~present
+            if mask.any():
+                if not self._emit(batch.select(mask)):
+                    left.output.cancel()
+                    return
+
+
+class IntersectNode(_HashedRightNode):
+    """Bag intersection on object pointers."""
+
+    name = "intersect"
+    keep_if_present = True
+
+
+class DifferenceNode(_HashedRightNode):
+    """Bag difference (left EXCEPT right) on object pointers."""
+
+    name = "difference"
+    keep_if_present = False

@@ -1,0 +1,57 @@
+"""Science operations: the paper's "Typical Queries" as first-class APIs.
+
+* :mod:`repro.science.neighbors` — spatial joins and nearest-neighbor
+  machinery ("find all the quasars brighter than r=22, which have a faint
+  blue galaxy within 5 arcsec on the sky");
+* :mod:`repro.science.lenses` — the gravitational-lens candidate search
+  ("objects within 10 arcsec of each other which have identical colors,
+  but may have a different brightness");
+* :mod:`repro.science.classify` — color-cut classifiers used for target
+  selection (quasar candidates by UV excess, luminous red galaxies,
+  spectroscopic galaxy targets);
+* :mod:`repro.science.charts` — on-demand finding charts;
+* :mod:`repro.science.tiling` — spectroscopic tile placement maximizing
+  overlap with target density.
+"""
+
+from repro.science.neighbors import (
+    neighbor_pairs,
+    nearest_neighbor,
+    quasars_with_faint_blue_neighbors,
+)
+from repro.science.lenses import find_lens_candidates, LensCandidate
+from repro.science.classify import (
+    select_quasar_candidates,
+    select_red_galaxies,
+    select_galaxy_targets,
+    classify_by_colors,
+)
+from repro.science.charts import FindingChart, make_finding_chart
+from repro.science.tiling import plan_tiles, Tile
+from repro.science.crossmatch import crossmatch, MatchResult
+from repro.science.variability import (
+    detect_variables,
+    light_curve_statistics,
+    LightCurveStats,
+)
+
+__all__ = [
+    "neighbor_pairs",
+    "nearest_neighbor",
+    "quasars_with_faint_blue_neighbors",
+    "find_lens_candidates",
+    "LensCandidate",
+    "select_quasar_candidates",
+    "select_red_galaxies",
+    "select_galaxy_targets",
+    "classify_by_colors",
+    "FindingChart",
+    "make_finding_chart",
+    "plan_tiles",
+    "Tile",
+    "crossmatch",
+    "MatchResult",
+    "detect_variables",
+    "light_curve_statistics",
+    "LightCurveStats",
+]

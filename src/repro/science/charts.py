@@ -1,0 +1,128 @@
+"""On-demand finding charts.
+
+*"At the simplest level these include the on-demand creation of (color)
+finding charts, with position information."*
+
+A finding chart is a small gnomonic (tangent-plane) projection of the
+catalog around a target: an array of per-object pixel positions plus an
+ASCII rendering for terminals.  Charts are produced from query results,
+so the full pipeline is: spatial index lookup -> predicate filter ->
+chart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.schema import ObjectType
+from repro.geometry.vector import radec_to_vector, tangent_basis
+
+__all__ = ["FindingChart", "make_finding_chart"]
+
+#: Glyphs per object class for ASCII rendering.
+_CLASS_GLYPHS = {
+    ObjectType.STAR.value: "*",
+    ObjectType.GALAXY.value: "o",
+    ObjectType.QUASAR.value: "Q",
+    ObjectType.UNKNOWN.value: ".",
+}
+
+
+@dataclass
+class FindingChart:
+    """A rendered chart.
+
+    ``x``/``y`` are tangent-plane offsets in arcminutes (east/north
+    positive), one per charted object; ``rows`` are the source row
+    indices; ``grid`` is the ASCII rendering.
+    """
+
+    center_ra: float
+    center_dec: float
+    radius_arcmin: float
+    x: np.ndarray
+    y: np.ndarray
+    rows: np.ndarray
+    magnitudes: np.ndarray
+    classes: np.ndarray
+    grid: str
+
+    def object_count(self):
+        """Number of charted objects."""
+        return int(self.rows.shape[0])
+
+
+def make_finding_chart(table, ra, dec, radius_arcmin=5.0, width_chars=61,
+                       mag_limit=None):
+    """Build a finding chart centered on (ra, dec) degrees.
+
+    Objects within ``radius_arcmin`` are projected gnomonically; the
+    brightest object per character cell wins the glyph.  ``mag_limit``
+    optionally drops faint objects.
+    """
+    if radius_arcmin <= 0:
+        raise ValueError("radius must be positive")
+    if width_chars < 11 or width_chars % 2 == 0:
+        raise ValueError("width_chars must be an odd number >= 11")
+
+    center = radec_to_vector(float(ra), float(dec))
+    east, north = tangent_basis(center)
+    xyz = table.positions_xyz()
+    cos_radius = math.cos(math.radians(radius_arcmin / 60.0))
+    in_field = (xyz @ center) >= cos_radius
+    rows = np.nonzero(in_field)[0]
+
+    r_mag = np.asarray(table["mag_r"], dtype=np.float64)[rows]
+    if mag_limit is not None:
+        keep = r_mag <= mag_limit
+        rows = rows[keep]
+        r_mag = r_mag[keep]
+
+    selected = xyz[rows]
+    # Gnomonic projection onto the tangent plane, in arcminutes.
+    dots = selected @ center
+    plane = selected / dots[:, None] - center[None, :]
+    x = np.degrees(plane @ east) * 60.0
+    y = np.degrees(plane @ north) * 60.0
+    classes = np.asarray(table["objtype"])[rows]
+
+    grid = _render_ascii(x, y, r_mag, classes, radius_arcmin, width_chars)
+    return FindingChart(
+        center_ra=float(ra),
+        center_dec=float(dec),
+        radius_arcmin=float(radius_arcmin),
+        x=x,
+        y=y,
+        rows=rows,
+        magnitudes=r_mag,
+        classes=classes,
+        grid=grid,
+    )
+
+
+def _render_ascii(x, y, magnitudes, classes, radius_arcmin, width_chars):
+    """Character grid: brightest object per cell, '+' marks the center."""
+    height = width_chars // 2 + 1  # terminal cells are ~2:1
+    cells = [[" "] * width_chars for _ in range(height)]
+    scale_x = (width_chars - 1) / (2.0 * radius_arcmin)
+    scale_y = (height - 1) / (2.0 * radius_arcmin)
+    best_mag = {}
+    for xi, yi, mag, cls in zip(x, y, magnitudes, classes):
+        col = int(round((xi + radius_arcmin) * scale_x))
+        row = int(round((radius_arcmin - yi) * scale_y))
+        if not (0 <= col < width_chars and 0 <= row < height):
+            continue
+        key = (row, col)
+        if key not in best_mag or mag < best_mag[key]:
+            best_mag[key] = mag
+            cells[row][col] = _CLASS_GLYPHS.get(int(cls), ".")
+    center_row, center_col = height // 2, width_chars // 2
+    if cells[center_row][center_col] == " ":
+        cells[center_row][center_col] = "+"
+    border = "+" + "-" * width_chars + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in cells)
+    legend = f"N up, E left | * star  o galaxy  Q quasar | r={radius_arcmin:.1f}'"
+    return f"{border}\n{body}\n{border}\n{legend}"

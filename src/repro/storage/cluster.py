@@ -1,0 +1,255 @@
+"""The distributed Science Archive: partitioned servers answering queries.
+
+*"The SDSS data is too large to fit on one disk or even one server.  The
+base-data objects will be spatially partitioned among the servers.  As
+new servers are added, the data will repartition. ... Splitting the data
+among multiple servers enables parallel, scalable I/O."*
+
+:class:`DistributedArchive` owns N :class:`ServerNode` instances, each
+holding the containers of one contiguous HTM id range (built by the
+:class:`~repro.storage.partition.Partitioner`).  Spatial queries are
+fanned out to exactly the servers whose ranges intersect the query's
+cover — small queries touch one server, all-sky scans parallelize over
+all of them — and per-query simulated time is the *maximum* over touched
+servers (shared-nothing parallelism).  ``add_servers`` repartitions,
+physically moving containers and reporting the movement.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.table import ObjectTable
+from repro.htm.cover import cover_region
+from repro.storage.containers import ContainerStore, QueryStats
+from repro.storage.diskmodel import PAPER_NODE, NodeModel
+from repro.storage.partition import Partitioner
+
+__all__ = ["ServerNode", "DistributedArchive", "DistributedQueryReport"]
+
+
+@dataclass
+class DistributedQueryReport:
+    """Fan-out accounting for one distributed query."""
+
+    servers_total: int = 0
+    servers_touched: int = 0
+    rows_returned: int = 0
+    bytes_touched_per_server: dict = field(default_factory=dict)
+    #: simulated seconds: slowest touched server (parallel I/O)
+    simulated_seconds: float = 0.0
+    #: simulated seconds a single server holding everything would need
+    simulated_seconds_single_server: float = 0.0
+
+    def parallel_speedup(self):
+        """Single-server time over parallel time."""
+        if self.simulated_seconds == 0:
+            return 1.0
+        return self.simulated_seconds_single_server / self.simulated_seconds
+
+
+class ServerNode:
+    """One commodity server: a container store plus an I/O model."""
+
+    def __init__(self, server_id, schema, depth, node_model=PAPER_NODE):
+        self.server_id = int(server_id)
+        self.store = ContainerStore(schema, depth)
+        self.node_model = node_model
+        self.queries_served = 0
+
+    def total_objects(self):
+        """Objects resident on this server."""
+        return self.store.total_objects()
+
+    def total_bytes(self):
+        """Bytes resident on this server."""
+        return self.store.total_bytes()
+
+    def query_region(self, region, extra_mask_fn=None):
+        """Run the local part of a query; returns (table, stats, sim_s)."""
+        self.queries_served += 1
+        result, stats = self.store.query_region(region, extra_mask_fn)
+        simulated = self.node_model.scan_seconds(stats.bytes_touched)
+        return result, stats, simulated
+
+    def __repr__(self):
+        return (
+            f"ServerNode(id={self.server_id}, objects={self.total_objects()}, "
+            f"containers={len(self.store)})"
+        )
+
+
+class DistributedArchive:
+    """A partitioned, queryable archive over simulated commodity servers."""
+
+    def __init__(self, schema, depth, n_servers, node_model=PAPER_NODE):
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self.schema = schema
+        self.depth = int(depth)
+        self.node_model = node_model
+        self.partitioner = Partitioner(self.depth)
+        self.servers = [
+            ServerNode(k, schema, self.depth, node_model) for k in range(n_servers)
+        ]
+        self.partition_map = self.partitioner.build({}, n_servers)
+
+    @classmethod
+    def from_table(cls, table, depth, n_servers, node_model=PAPER_NODE):
+        """Cluster a catalog and distribute it across ``n_servers``."""
+        archive = cls(table.schema, depth, n_servers, node_model)
+        archive.load(table)
+        return archive
+
+    # ------------------------------------------------------------------
+    # loading and rebalancing
+    # ------------------------------------------------------------------
+
+    def load(self, table):
+        """Cluster ``table`` and place containers on their owners.
+
+        Rebuilds the partition map from the combined (existing + new)
+        weights first, so a bulk load lands balanced.
+        """
+        staging = ContainerStore.from_table(table, self.depth)
+        weights = self._combined_weights(staging)
+        self.partition_map = self.partitioner.build(weights, len(self.servers))
+        # Re-place any containers whose owner changed, then add new data.
+        self._replace_misplaced()
+        for htm_id, container in staging.containers.items():
+            owner = self.servers[self.partition_map.server_for(htm_id)]
+            owner.store.get_or_create(htm_id).append(container.table)
+
+    def _combined_weights(self, staging=None):
+        weights = {}
+        for server in self.servers:
+            for htm_id, container in server.store.containers.items():
+                weights[htm_id] = weights.get(htm_id, 0) + len(container)
+        if staging is not None:
+            for htm_id, container in staging.containers.items():
+                weights[htm_id] = weights.get(htm_id, 0) + len(container)
+        return weights
+
+    def _replace_misplaced(self):
+        """Move containers whose partition-map owner changed; count moves."""
+        moved_objects = 0
+        for server in self.servers:
+            for htm_id in list(server.store.containers):
+                target = self.partition_map.server_for(htm_id)
+                if target != server.server_id:
+                    container = server.store.containers.pop(htm_id)
+                    destination = self.servers[target]
+                    destination.store.get_or_create(htm_id).append(container.table)
+                    moved_objects += len(container)
+        return moved_objects
+
+    def add_servers(self, count):
+        """Scale out; repartitions and physically moves containers.
+
+        Returns the number of objects moved.
+        """
+        if count < 1:
+            raise ValueError("must add at least one server")
+        for k in range(count):
+            self.servers.append(
+                ServerNode(len(self.servers), self.schema, self.depth, self.node_model)
+            )
+        self.partition_map = self.partitioner.build(
+            self._combined_weights(), len(self.servers)
+        )
+        return self._replace_misplaced()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def total_objects(self):
+        """Objects across all servers."""
+        return sum(s.total_objects() for s in self.servers)
+
+    def server_loads(self):
+        """Objects per server (balance inspection)."""
+        return {s.server_id: s.total_objects() for s in self.servers}
+
+    def query_region(self, region, extra_mask_fn=None, workers=None):
+        """Distributed spatial query; returns ``(table, report)``.
+
+        Only servers whose id ranges intersect the query's cover are
+        contacted; their local queries run concurrently in threads;
+        simulated time is the slowest touched server.
+        """
+        coverage = cover_region(region, self.depth)
+        candidates = coverage.candidates()
+        touched = [
+            server
+            for server in self.servers
+            if not self.partition_map.ranges_for(server.server_id)
+            .intersect(candidates)
+            .is_empty()
+        ]
+        report = DistributedQueryReport(
+            servers_total=len(self.servers), servers_touched=len(touched)
+        )
+        if not touched:
+            return ObjectTable(self.schema), report
+
+        def run(server):
+            return server, server.query_region(region, extra_mask_fn)
+
+        pieces = []
+        slowest = 0.0
+        total_bytes = 0
+        with ThreadPoolExecutor(max_workers=workers or len(touched)) as pool:
+            for server, (result, stats, simulated) in pool.map(run, touched):
+                if len(result):
+                    pieces.append(result)
+                report.bytes_touched_per_server[server.server_id] = stats.bytes_touched
+                total_bytes += stats.bytes_touched
+                slowest = max(slowest, simulated)
+
+        merged = ObjectTable.concat_all(pieces) if pieces else ObjectTable(self.schema)
+        report.rows_returned = len(merged)
+        report.simulated_seconds = slowest
+        report.simulated_seconds_single_server = self.node_model.scan_seconds(
+            total_bytes
+        )
+        return merged, report
+
+    def scan_all(self, mask_fn=None, workers=None):
+        """Distributed full sweep; returns ``(table, report)``."""
+        report = DistributedQueryReport(
+            servers_total=len(self.servers), servers_touched=len(self.servers)
+        )
+
+        def run(server):
+            result, stats = server.store.scan_all(mask_fn)
+            simulated = server.node_model.scan_seconds(stats.bytes_touched)
+            return server, result, stats, simulated
+
+        pieces = []
+        slowest = 0.0
+        total_bytes = 0
+        with ThreadPoolExecutor(max_workers=workers or len(self.servers)) as pool:
+            for server, result, stats, simulated in pool.map(run, self.servers):
+                if len(result):
+                    pieces.append(result)
+                report.bytes_touched_per_server[server.server_id] = stats.bytes_touched
+                total_bytes += stats.bytes_touched
+                slowest = max(slowest, simulated)
+
+        merged = ObjectTable.concat_all(pieces) if pieces else ObjectTable(self.schema)
+        report.rows_returned = len(merged)
+        report.simulated_seconds = slowest
+        report.simulated_seconds_single_server = self.node_model.scan_seconds(
+            total_bytes
+        )
+        return merged, report
+
+    def __repr__(self):
+        return (
+            f"DistributedArchive(servers={len(self.servers)}, "
+            f"objects={self.total_objects()}, depth={self.depth})"
+        )

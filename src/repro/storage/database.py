@@ -1,0 +1,42 @@
+"""Databases: per-server groups of containers.
+
+In the Objectivity federation of the real archive, containers live inside
+*database* files placed on specific servers; the loader's first phase
+"creates a list of databases and containers that are needed".  Here a
+:class:`Database` is the unit the partitioner assigns to a server.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named group of containers hosted together on one server."""
+
+    __slots__ = ("name", "server_id", "container_ids")
+
+    def __init__(self, name, server_id, container_ids=()):
+        self.name = str(name)
+        self.server_id = int(server_id)
+        self.container_ids = set(int(c) for c in container_ids)
+
+    def add(self, container_id):
+        """Assign one container to this database."""
+        self.container_ids.add(int(container_id))
+
+    def remove(self, container_id):
+        """Remove a container (e.g. on repartitioning)."""
+        self.container_ids.discard(int(container_id))
+
+    def __contains__(self, container_id):
+        return int(container_id) in self.container_ids
+
+    def __len__(self):
+        return len(self.container_ids)
+
+    def __repr__(self):
+        return (
+            f"Database({self.name!r}, server={self.server_id}, "
+            f"containers={len(self.container_ids)})"
+        )

@@ -1,0 +1,113 @@
+"""Tests for repro.catalog.schema."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import (
+    BANDS,
+    PHOTO_SCHEMA,
+    SPECTRO_SCHEMA,
+    TAG_SCHEMA,
+    Field,
+    ObjectType,
+    Schema,
+)
+
+
+class TestField:
+    def test_scalar_descr(self):
+        field = Field("x", "f8")
+        assert field.numpy_descr() == ("x", "f8")
+        assert field.nbytes() == 8
+
+    def test_subarray_descr(self):
+        field = Field("prof", "f4", shape=(5, 15))
+        assert field.numpy_descr() == ("prof", "f4", (5, 15))
+        assert field.nbytes() == 4 * 75
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema("bad", [Field("a", "f4"), Field("a", "f8")])
+
+    def test_numpy_dtype_layout(self):
+        schema = Schema("s", [Field("a", "i4"), Field("b", "f8", shape=(2,))])
+        dtype = schema.numpy_dtype()
+        assert dtype.names == ("a", "b")
+        assert dtype["b"].shape == (2,)
+
+    def test_record_nbytes_matches_numpy(self):
+        # Packed schema bytes must equal the numpy itemsize (no padding
+        # surprises for the Table 1 arithmetic).
+        for schema in (PHOTO_SCHEMA, TAG_SCHEMA, SPECTRO_SCHEMA):
+            assert schema.record_nbytes() == schema.numpy_dtype().itemsize
+
+    def test_membership_and_getitem(self):
+        assert "mag_r" in PHOTO_SCHEMA
+        assert PHOTO_SCHEMA["mag_r"].unit == "mag"
+        assert "nope" not in PHOTO_SCHEMA
+        with pytest.raises(KeyError):
+            PHOTO_SCHEMA["nope"]
+
+    def test_project(self):
+        projected = PHOTO_SCHEMA.project(["objid", "mag_r"])
+        assert projected.field_names() == ["objid", "mag_r"]
+
+    def test_project_missing(self):
+        with pytest.raises(KeyError):
+            PHOTO_SCHEMA.project(["objid", "missing_column"])
+
+    def test_len_and_iter(self):
+        assert len(TAG_SCHEMA) == 11  # 10 attributes + objid pointer
+        assert [f.name for f in TAG_SCHEMA][0] == "objid"
+
+
+class TestPhotoSchema:
+    def test_all_bands_present(self):
+        for band in BANDS:
+            assert f"mag_{band}" in PHOTO_SCHEMA
+            assert f"mag_err_{band}" in PHOTO_SCHEMA
+
+    def test_cartesian_position_is_tagged(self):
+        for name in ("cx", "cy", "cz"):
+            assert PHOTO_SCHEMA[name].tag
+
+    def test_exactly_ten_tag_attributes(self):
+        # "the 10 most popular attributes (3 Cartesian positions on the
+        # sky, 5 colors, 1 size, 1 classification parameter)"
+        tag_fields = PHOTO_SCHEMA.tag_fields()
+        assert len(tag_fields) == 10
+        names = {f.name for f in tag_fields}
+        assert {"cx", "cy", "cz"} <= names  # 3 positions
+        assert {f"mag_{b}" for b in BANDS} <= names  # 5 colors
+        assert "petro_r50" in names  # size
+        assert "objtype" in names  # classification
+
+    def test_record_size_scale(self):
+        # The full record stands in for the paper's ~500-attribute object:
+        # several hundred bytes to ~1.3 kB.
+        assert 500 <= PHOTO_SCHEMA.record_nbytes() <= 1500
+
+
+class TestTagSchema:
+    def test_pointer_plus_ten(self):
+        names = TAG_SCHEMA.field_names()
+        assert names[0] == "objid"
+        assert len(names) == 11
+
+    def test_paper_size_claim(self):
+        # Tag records must be >10x smaller than full records for the
+        # "searched more than 10 times faster" claim to hold.
+        ratio = PHOTO_SCHEMA.record_nbytes() / TAG_SCHEMA.record_nbytes()
+        assert ratio > 10.0
+
+
+class TestObjectType:
+    def test_codes_stable(self):
+        assert ObjectType.STAR.value == 1
+        assert ObjectType.GALAXY.value == 2
+        assert ObjectType.QUASAR.value == 3
+
+    def test_fits_in_u1(self):
+        assert max(t.value for t in ObjectType) < 256

@@ -1,0 +1,192 @@
+"""Tests for repro.catalog.skygen."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import ObjectType, PHOTO_SCHEMA, SPECTRO_SCHEMA
+from repro.catalog.skygen import SkySimulator, SurveyParameters
+from repro.geometry.coords import GALACTIC
+from repro.geometry.distance import angular_separation
+from repro.geometry.shapes import circle_region
+
+
+class TestBasicGeneration:
+    def test_counts(self, photo):
+        counts = {
+            code: int((photo["objtype"] == code).sum())
+            for code in (1, 2, 3)
+        }
+        # Session fixture: 4000 galaxies, 2500 stars, 200 quasars + 32
+        # injected objects (8 lens pairs: quasars; 8 qn pairs: q+gal).
+        assert counts[ObjectType.GALAXY.value] == 4000 + 8
+        assert counts[ObjectType.STAR.value] == 2500
+        assert counts[ObjectType.QUASAR.value] == 200 + 16 + 8
+
+    def test_schema(self, photo):
+        assert photo.schema is PHOTO_SCHEMA
+
+    def test_objids_unique(self, photo):
+        objids = np.asarray(photo["objid"])
+        assert len(np.unique(objids)) == len(objids)
+
+    def test_positions_are_unit(self, photo):
+        xyz = photo.positions_xyz()
+        np.testing.assert_allclose(np.linalg.norm(xyz, axis=1), 1.0, atol=1e-9)
+
+    def test_radec_consistent_with_xyz(self, photo):
+        from repro.geometry.vector import radec_to_vector
+
+        xyz = radec_to_vector(photo["ra"], photo["dec"])
+        np.testing.assert_allclose(xyz, photo.positions_xyz(), atol=1e-9)
+
+    def test_htmid_at_index_depth(self, photo):
+        from repro.htm.mesh import depth_id_bounds
+
+        lo, hi = depth_id_bounds(10)
+        ids = np.asarray(photo["htmid"])
+        assert bool(((ids >= lo) & (ids < hi)).all())
+
+    def test_reproducible(self):
+        params = SurveyParameters(n_galaxies=300, n_stars=100, n_quasars=10, seed=5)
+        a = SkySimulator(params).generate()
+        b = SkySimulator(params).generate()
+        for field in ("ra", "dec", "mag_r", "objtype"):
+            np.testing.assert_array_equal(a[field], b[field])
+
+    def test_different_seeds_differ(self):
+        a = SkySimulator(SurveyParameters(n_galaxies=300, n_stars=0, n_quasars=0, seed=1)).generate()
+        b = SkySimulator(SurveyParameters(n_galaxies=300, n_stars=0, n_quasars=0, seed=2)).generate()
+        assert not np.array_equal(a["ra"], b["ra"])
+
+
+class TestStatisticalShape:
+    def test_magnitudes_in_range(self, photo):
+        r = np.asarray(photo["mag_r"])
+        # Injections may push slightly past the limit; the bulk respects it.
+        assert float(np.quantile(r, 0.99)) <= 22.6
+        assert r.min() >= 13.9
+
+    def test_counts_rise_toward_faint(self, photo):
+        # Euclidean number counts: more faint objects than bright ones.
+        r = np.asarray(photo["mag_r"])[photo["objtype"] == ObjectType.GALAXY.value]
+        bright = int(((r > 16) & (r <= 19)).sum())
+        faint = int(((r > 19) & (r <= 22)).sum())
+        assert faint > 3 * bright
+
+    def test_quasars_have_uv_excess(self, photo):
+        quasars = photo.select(photo["objtype"] == ObjectType.QUASAR.value)
+        u_g = np.asarray(quasars["mag_u"]) - np.asarray(quasars["mag_g"])
+        assert float(np.median(u_g)) < 0.6
+
+    def test_galaxies_redder_than_quasars(self, photo):
+        galaxies = photo.select(photo["objtype"] == ObjectType.GALAXY.value)
+        quasars = photo.select(photo["objtype"] == ObjectType.QUASAR.value)
+        gal_gr = np.median(np.asarray(galaxies["mag_g"]) - np.asarray(galaxies["mag_r"]))
+        q_gr = np.median(np.asarray(quasars["mag_g"]) - np.asarray(quasars["mag_r"]))
+        assert gal_gr > q_gr
+
+    def test_stars_concentrate_to_galactic_plane(self, photo):
+        stars = photo.select(photo["objtype"] == ObjectType.STAR.value)
+        _l, b = GALACTIC.lonlat(stars.positions_xyz())
+        low_lat = int((np.abs(b) < 20).sum())
+        high_lat = int((np.abs(b) > 60).sum())
+        # Solid angle |b|<20 is ~0.34 of sky, |b|>60 is ~0.13; with the
+        # exponential gradient the low-latitude count dominates strongly.
+        assert low_lat > 2.0 * high_lat
+
+    def test_galaxies_clustered(self, photo):
+        # Clustered galaxies produce a high-variance trixel occupancy
+        # relative to a Poisson sky.
+        from repro.htm.depthmap import DensityMap
+
+        galaxies = photo.select(photo["objtype"] == ObjectType.GALAXY.value)
+        density = DensityMap.from_positions(galaxies["ra"], galaxies["dec"], 6)
+        counts = density.counts[density.counts > 0]
+        # Poisson would give variance ~ mean; clustering inflates it.
+        assert counts.var() > 2.0 * counts.mean()
+
+    def test_galaxy_sizes_extended(self, photo):
+        galaxies = photo.select(photo["objtype"] == ObjectType.GALAXY.value)
+        stars = photo.select(photo["objtype"] == ObjectType.STAR.value)
+        assert float(np.median(galaxies["petro_r50"])) > float(
+            np.median(stars["petro_r50"])
+        )
+
+    def test_footprint_respected(self):
+        footprint = circle_region(180.0, 40.0, 20.0)
+        params = SurveyParameters(
+            n_galaxies=500, n_stars=200, n_quasars=20, footprint=footprint, seed=3
+        )
+        table = SkySimulator(params).generate()
+        assert bool(footprint.contains(table.positions_xyz()).all())
+
+
+class TestGroundTruth:
+    def test_lens_pairs_satisfy_query(self, simulator, photo):
+        # Injected lens pairs must satisfy the paper's query: within 10
+        # arcsec, identical colors, different brightness.
+        objid_to_row = {int(o): k for k, o in enumerate(photo["objid"])}
+        for objid_a, objid_b in simulator.ground_truth.lens_pair_objids:
+            row_a, row_b = objid_to_row[objid_a], objid_to_row[objid_b]
+            sep = angular_separation(
+                float(photo["ra"][row_a]), float(photo["dec"][row_a]),
+                float(photo["ra"][row_b]), float(photo["dec"][row_b]),
+            )
+            assert float(sep) * 3600.0 <= 10.0
+            for band in "ugiz":
+                color_a = float(photo[f"mag_{band}"][row_a]) - float(photo["mag_r"][row_a])
+                color_b = float(photo[f"mag_{band}"][row_b]) - float(photo["mag_r"][row_b])
+                assert abs(color_a - color_b) < 1e-5
+            assert abs(
+                float(photo["mag_r"][row_a]) - float(photo["mag_r"][row_b])
+            ) >= 0.3
+
+    def test_quasar_neighbor_pairs_satisfy_query(self, simulator, photo):
+        objid_to_row = {int(o): k for k, o in enumerate(photo["objid"])}
+        for q_objid, g_objid in simulator.ground_truth.quasar_neighbor_objids:
+            q, g = objid_to_row[q_objid], objid_to_row[g_objid]
+            assert photo["objtype"][q] == ObjectType.QUASAR.value
+            assert photo["objtype"][g] == ObjectType.GALAXY.value
+            assert float(photo["mag_r"][q]) < 22.0
+            assert float(photo["mag_r"][g]) >= 21.0
+            g_color = float(photo["mag_g"][g]) - float(photo["mag_r"][g])
+            assert g_color <= 0.4
+            sep = angular_separation(
+                float(photo["ra"][q]), float(photo["dec"][q]),
+                float(photo["ra"][g]), float(photo["dec"][g]),
+            )
+            assert float(sep) * 3600.0 <= 5.0
+
+
+class TestSpectroscopic:
+    def test_spectro_catalog(self, simulator, photo):
+        spectro = SkySimulator(simulator.params).generate_spectroscopic(
+            photo, n_targets=500
+        )
+        assert spectro.schema is SPECTRO_SCHEMA
+        assert len(spectro) == 500
+
+    def test_targets_are_brightest_eligible(self, simulator, photo):
+        spectro = SkySimulator(simulator.params).generate_spectroscopic(
+            photo, n_targets=300
+        )
+        # No star should be targeted.
+        assert not bool((spectro["objtype"] == ObjectType.STAR.value).any())
+        # Targets lean bright relative to the eligible population.
+        eligible = photo.select(
+            (photo["objtype"] == ObjectType.GALAXY.value)
+            | (photo["objtype"] == ObjectType.QUASAR.value)
+        )
+        assert float(np.median(spectro["ra"].size and np.asarray(
+            [photo["mag_r"][photo["objid"] == o][0] for o in spectro["objid"][:50]]
+        ))) < float(np.median(eligible["mag_r"]))
+
+    def test_quasar_redshifts_higher(self, simulator, photo):
+        spectro = SkySimulator(simulator.params).generate_spectroscopic(
+            photo, n_targets=1000
+        )
+        is_quasar = spectro["objtype"] == ObjectType.QUASAR.value
+        if int(is_quasar.sum()) > 5:
+            assert float(np.median(spectro["z"][is_quasar])) > float(
+                np.median(spectro["z"][~is_quasar])
+            )

@@ -1,0 +1,107 @@
+"""Tests for repro.catalog.tags, .sampling, and .units."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.sampling import desktop_subset, sample_fraction, stratified_sample
+from repro.catalog.schema import TAG_SCHEMA
+from repro.catalog.tags import TAG_ATTRIBUTES, dereference, make_tag_table, tag_size_ratio
+from repro.catalog.units import (
+    WHOLE_SKY_SQDEG,
+    ab_magnitude_error,
+    flux_nmgy_to_mag,
+    mag_to_flux_nmgy,
+)
+
+
+class TestTags:
+    def test_tag_projection_matches(self, photo, tags):
+        assert tags.schema is TAG_SCHEMA
+        assert len(tags) == len(photo)
+        for name in TAG_ATTRIBUTES:
+            np.testing.assert_array_equal(tags[name], photo[name])
+
+    def test_pointer_column(self, photo, tags):
+        np.testing.assert_array_equal(tags["objid"], photo["objid"])
+
+    def test_size_ratio_above_ten(self):
+        assert tag_size_ratio() > 10.0
+
+    def test_tag_bytes_smaller(self, photo, tags):
+        assert tags.nbytes() * 10 < photo.nbytes()
+
+    def test_dereference_full_table(self, photo, tags):
+        subset = tags.take(np.arange(0, 50))
+        full = dereference(subset, photo)
+        np.testing.assert_array_equal(full["objid"], subset["objid"])
+        # Dereferenced rows expose non-tag attributes.
+        assert "mag_err_r" in full.schema
+
+    def test_dereference_specific_objids(self, photo, tags):
+        wanted = np.asarray(photo["objid"])[[5, 3, 8]]
+        full = dereference(tags, photo, objids=wanted)
+        np.testing.assert_array_equal(full["objid"], wanted)
+
+    def test_dereference_dangling(self, photo, tags):
+        with pytest.raises(KeyError):
+            dereference(tags, photo, objids=np.array([10**12]))
+
+
+class TestSampling:
+    def test_fraction_size(self, photo):
+        sample = sample_fraction(photo, 0.1, seed=1)
+        assert len(sample) == pytest.approx(0.1 * len(photo), rel=0.25)
+
+    def test_fraction_zero_and_one(self, photo):
+        assert len(sample_fraction(photo, 0.0)) == 0
+        assert len(sample_fraction(photo, 1.0)) == len(photo)
+
+    def test_fraction_validated(self, photo):
+        with pytest.raises(ValueError):
+            sample_fraction(photo, 1.5)
+
+    def test_fraction_reproducible(self, photo):
+        a = sample_fraction(photo, 0.05, seed=9)
+        b = sample_fraction(photo, 0.05, seed=9)
+        np.testing.assert_array_equal(a["objid"], b["objid"])
+
+    def test_stratified_keeps_rare_classes(self, photo):
+        sample = stratified_sample(photo, 0.005, "objtype", seed=2)
+        # Every class present in the source survives.
+        assert set(np.unique(sample["objtype"])) == set(np.unique(photo["objtype"]))
+
+    def test_stratified_proportions(self, photo):
+        sample = stratified_sample(photo, 0.1, "objtype", seed=3)
+        for code in np.unique(photo["objtype"]):
+            source = int((photo["objtype"] == code).sum())
+            got = int((sample["objtype"] == code).sum())
+            assert got == pytest.approx(0.1 * source, abs=2)
+
+    def test_desktop_subset_reduction(self, photo):
+        # "Combining partitioning and sampling converts a 2 TB data set
+        # into 2 gigabytes": the tag x 1% combination must give around
+        # three orders of magnitude.
+        subset, factor = desktop_subset(photo, fraction=0.01, seed=4)
+        assert subset.schema is TAG_SCHEMA
+        assert 300 <= factor <= 10000
+
+
+class TestUnits:
+    def test_mag_flux_roundtrip(self):
+        mags = np.array([15.0, 20.0, 22.5])
+        np.testing.assert_allclose(flux_nmgy_to_mag(mag_to_flux_nmgy(mags)), mags)
+
+    def test_nanomaggy_zero_point(self):
+        assert mag_to_flux_nmgy(22.5) == pytest.approx(1.0)
+
+    def test_flux_must_be_positive(self):
+        with pytest.raises(ValueError):
+            flux_nmgy_to_mag(np.array([0.0]))
+
+    def test_error_grows_toward_limit(self):
+        bright = float(ab_magnitude_error(15.0))
+        faint = float(ab_magnitude_error(22.4))
+        assert bright < 0.02 < faint
+
+    def test_whole_sky_area(self):
+        assert WHOLE_SKY_SQDEG == pytest.approx(41252.96, rel=1e-5)

@@ -1,0 +1,67 @@
+"""Shared fixtures: one small synthetic survey reused across the suite.
+
+Catalog generation is the slowest setup step, so the survey, its stores,
+and the query engine are session-scoped; tests treat them as read-only.
+Tests that need mutation or special parameters build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import SkySimulator, SurveyParameters, make_tag_table
+from repro.query import QueryEngine
+from repro.storage import ContainerStore
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    """A seeded simulator with ground-truth injections."""
+    params = SurveyParameters(
+        n_galaxies=4000,
+        n_stars=2500,
+        n_quasars=200,
+        n_lens_pairs=8,
+        n_quasar_neighbor_pairs=8,
+        seed=1234,
+    )
+    sim = SkySimulator(params)
+    sim.photo_table = sim.generate()
+    return sim
+
+
+@pytest.fixture(scope="session")
+def photo(simulator):
+    """The session's photometric catalog (treat as read-only)."""
+    return simulator.photo_table
+
+
+@pytest.fixture(scope="session")
+def tags(photo):
+    """Tag-object table of the session catalog."""
+    return make_tag_table(photo)
+
+
+@pytest.fixture(scope="session")
+def photo_store(photo):
+    """Container store of full records at depth 5."""
+    return ContainerStore.from_table(photo, depth=5)
+
+
+@pytest.fixture(scope="session")
+def tag_store(tags):
+    """Container store of tag records at depth 5."""
+    return ContainerStore.from_table(tags, depth=5)
+
+
+@pytest.fixture(scope="session")
+def engine(photo_store, tag_store):
+    """Query engine over the session stores."""
+    return QueryEngine({"photo": photo_store, "tag": tag_store})
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(20000601)

@@ -1,0 +1,153 @@
+"""Tests for repro.geometry.convex and repro.geometry.region."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convex import Convex
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.region import Region
+from repro.geometry.vector import radec_to_vector, random_unit_vectors
+
+offsets = st.floats(min_value=-0.95, max_value=0.95)
+components = st.floats(min_value=-1.0, max_value=1.0)
+
+
+def random_halfspaces(rng, count):
+    normals = random_unit_vectors(count, rng=rng)
+    offs = np.random.default_rng(rng).uniform(-0.8, 0.8, size=count)
+    return [Halfspace(n, o) for n, o in zip(normals, offs)]
+
+
+class TestConvex:
+    def test_full_sphere_contains_everything(self):
+        points = random_unit_vectors(50, rng=0)
+        assert bool(Convex.full_sphere().contains(points).all())
+
+    def test_empty_contains_nothing(self):
+        points = random_unit_vectors(50, rng=0)
+        assert not bool(Convex.empty().contains(points).any())
+
+    def test_intersection_semantics(self):
+        halfspaces = random_halfspaces(3, 4)
+        convex = Convex(halfspaces)
+        points = random_unit_vectors(500, rng=4)
+        expected = np.ones(500, dtype=bool)
+        for hs in halfspaces:
+            expected &= hs.contains(points)
+        np.testing.assert_array_equal(convex.contains(points), expected)
+
+    def test_empty_constraint_collapses(self):
+        convex = Convex([Halfspace([0, 0, 1], 2.0)])
+        assert convex.is_empty()
+        assert len(convex) == 0
+
+    def test_full_constraints_pruned(self):
+        convex = Convex([Halfspace([0, 0, 1], -1.0), Halfspace([0, 0, 1], 0.5)])
+        assert len(convex) == 1
+
+    def test_add_and_intersect(self):
+        a = Convex([Halfspace([0, 0, 1], 0.0)])
+        b = a.add(Halfspace([1, 0, 0], 0.0))
+        assert len(b) == 2
+        c = a.intersect(Convex([Halfspace([0, 1, 0], 0.0)]))
+        assert len(c) == 2
+
+    def test_intersect_with_empty(self):
+        a = Convex([Halfspace([0, 0, 1], 0.0)])
+        assert a.intersect(Convex.empty()).is_empty()
+
+    def test_bounding_circle_is_smallest_cap(self):
+        small = Halfspace([0, 0, 1], 0.9)
+        big = Halfspace([1, 0, 0], 0.1)
+        assert Convex([small, big]).bounding_circle() == small
+
+    def test_bounding_circle_none_for_full(self):
+        assert Convex.full_sphere().bounding_circle() is None
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            Convex(["not a halfspace"])
+
+
+class TestRegionAlgebra:
+    def test_union_semantics(self):
+        a = Region.from_halfspace(Halfspace([0, 0, 1], 0.5))
+        b = Region.from_halfspace(Halfspace([0, 0, -1], 0.5))
+        union = a | b
+        points = random_unit_vectors(500, rng=5)
+        expected = a.contains(points) | b.contains(points)
+        np.testing.assert_array_equal(union.contains(points), expected)
+
+    def test_intersect_semantics(self):
+        a = Region.from_halfspace(Halfspace([0, 0, 1], 0.0))
+        b = Region.from_halfspace(Halfspace([1, 0, 0], 0.0))
+        points = random_unit_vectors(500, rng=6)
+        expected = a.contains(points) & b.contains(points)
+        np.testing.assert_array_equal((a & b).contains(points), expected)
+
+    def test_complement_semantics(self):
+        region = Region.from_halfspace(Halfspace([0.2, 0.3, 0.9], 0.4))
+        points = random_unit_vectors(500, rng=7)
+        inverted = ~region
+        # Boundary points aside (measure zero for random points), the
+        # complement must flip membership.
+        np.testing.assert_array_equal(
+            inverted.contains(points), ~region.contains(points)
+        )
+
+    def test_difference_semantics(self):
+        a = Region.from_halfspace(Halfspace([0, 0, 1], 0.0))
+        b = Region.from_halfspace(Halfspace([0, 0, 1], 0.5))
+        points = random_unit_vectors(500, rng=8)
+        expected = a.contains(points) & ~b.contains(points)
+        np.testing.assert_array_equal((a - b).contains(points), expected)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_de_morgan(self, seed):
+        normals = random_unit_vectors(2, rng=seed)
+        a = Region.from_halfspace(Halfspace(normals[0], 0.3))
+        b = Region.from_halfspace(Halfspace(normals[1], -0.2))
+        points = random_unit_vectors(200, rng=seed + 1)
+        lhs = (~(a | b)).contains(points)
+        rhs = ((~a) & (~b)).contains(points)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_empty_region(self):
+        assert Region.empty().is_empty()
+        assert (~Region.empty()).is_full_sphere()
+
+    def test_full_sphere_region(self):
+        region = Region.full_sphere()
+        assert region.is_full_sphere()
+        assert (~region).is_empty()
+
+    def test_empty_convexes_dropped(self):
+        region = Region([Convex.empty(), Convex.full_sphere()])
+        assert len(region) == 1
+
+    def test_area_estimate_hemisphere(self):
+        region = Region.from_halfspace(Halfspace([0, 0, 1], 0.0))
+        estimate = region.area_estimate_sqdeg(samples=50000, rng=1)
+        assert estimate == pytest.approx(41252.96 / 2.0, rel=0.05)
+
+    def test_complement_blowup_guard(self):
+        # Many multi-cap clauses make De Morgan expansion explode.
+        convexes = [
+            Convex(
+                [
+                    Halfspace(v, 0.1)
+                    for v in random_unit_vectors(8, rng=k)
+                ]
+            )
+            for k in range(6)
+        ]
+        region = Region(convexes)
+        with pytest.raises(ValueError):
+            region.complement()
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            Region([Halfspace([0, 0, 1], 0.0)])

@@ -1,0 +1,118 @@
+"""Tests for repro.geometry.coords."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.coords import (
+    ECLIPTIC,
+    EQUATORIAL,
+    GALACTIC,
+    SUPERGALACTIC,
+    CoordinateFrame,
+    frame_halfspace,
+    get_frame,
+    latitude_halfspaces,
+    transform,
+)
+from repro.geometry.vector import radec_to_vector, random_unit_vectors
+
+lons = st.floats(min_value=0.0, max_value=359.99)
+lats = st.floats(min_value=-89.0, max_value=89.0)
+
+
+class TestFrameDefinitions:
+    def test_equatorial_is_identity(self):
+        np.testing.assert_array_equal(EQUATORIAL.matrix, np.eye(3))
+
+    def test_galactic_center(self):
+        l, b = GALACTIC.lonlat(radec_to_vector(266.405, -28.936))
+        assert b == pytest.approx(0.0, abs=0.01)
+        assert l % 360.0 == pytest.approx(0.0, abs=0.01) or l == pytest.approx(360.0, abs=0.01)
+
+    def test_galactic_pole(self):
+        _l, b = GALACTIC.lonlat(radec_to_vector(192.85948, 27.12825))
+        assert b == pytest.approx(90.0, abs=1e-6)
+
+    def test_ecliptic_pole(self):
+        # The ecliptic pole is at dec = 90 - obliquity from the celestial pole.
+        _lon, lat = ECLIPTIC.lonlat(radec_to_vector(270.0, 90.0 - 23.4392911))
+        assert lat == pytest.approx(90.0, abs=1e-6)
+
+    def test_supergalactic_plane_in_galactic(self):
+        # The supergalactic origin lies at galactic l=137.37, b=0.
+        xyz_eq = GALACTIC.from_lonlat(137.37, 0.0)
+        _sgl, sgb = SUPERGALACTIC.lonlat(xyz_eq)
+        assert sgb == pytest.approx(0.0, abs=0.01)
+
+    def test_matrices_orthonormal(self):
+        for frame in (GALACTIC, SUPERGALACTIC, ECLIPTIC):
+            np.testing.assert_allclose(
+                frame.matrix @ frame.matrix.T, np.eye(3), atol=1e-12
+            )
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinateFrame("broken", np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            CoordinateFrame("wrong-shape", np.eye(4))
+
+
+class TestTransforms:
+    @given(lons, lats)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_galactic(self, lon, lat):
+        l, b = transform(lon, lat, "equatorial", "galactic")
+        back_lon, back_lat = transform(l, b, "galactic", "equatorial")
+        assert back_lat == pytest.approx(lat, abs=1e-8)
+        delta = abs(back_lon - lon) % 360.0
+        assert min(delta, 360.0 - delta) < 1e-6
+
+    @given(lons, lats)
+    @settings(max_examples=50, deadline=None)
+    def test_transform_preserves_separation(self, lon, lat):
+        a_eq = radec_to_vector(lon, lat)
+        b_eq = radec_to_vector(lon + 1.0, lat)
+        a_gal = GALACTIC.to_frame(a_eq)
+        b_gal = GALACTIC.to_frame(b_eq)
+        assert float(a_eq @ b_eq) == pytest.approx(float(a_gal @ b_gal), abs=1e-12)
+
+    def test_frame_lookup(self):
+        assert get_frame("GALACTIC") is GALACTIC
+        with pytest.raises(KeyError):
+            get_frame("klingon")
+
+    def test_transform_accepts_frame_objects(self):
+        l1, b1 = transform(10.0, 20.0, EQUATORIAL, GALACTIC)
+        l2, b2 = transform(10.0, 20.0, "equatorial", "galactic")
+        assert (l1, b1) == (l2, b2)
+
+
+class TestFrameHalfspace:
+    def test_equivalent_to_frame_test(self, rng):
+        # A constraint written in galactic coordinates must select the
+        # same points as testing galactic latitude directly.
+        hs = frame_halfspace(GALACTIC, [0.0, 0.0, 1.0], 0.5)  # b >= 30 deg
+        points = random_unit_vectors(500, rng=rng)
+        _l, b = GALACTIC.lonlat(points)
+        expected = np.sin(np.deg2rad(np.atleast_1d(b))) >= 0.5
+        np.testing.assert_array_equal(hs.contains(points), expected)
+
+    def test_latitude_halfspaces_band(self, rng):
+        constraints = latitude_halfspaces(GALACTIC, 10.0, 40.0)
+        assert len(constraints) == 2
+        points = random_unit_vectors(500, rng=rng)
+        _l, b = GALACTIC.lonlat(points)
+        b = np.atleast_1d(b)
+        expected = (b >= 10.0) & (b <= 40.0)
+        actual = constraints[0].contains(points) & constraints[1].contains(points)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_latitude_halfspaces_open_ends(self):
+        assert len(latitude_halfspaces(EQUATORIAL, -90.0, 0.0)) == 1
+        assert len(latitude_halfspaces(EQUATORIAL, -90.0, 90.0)) == 0
+
+    def test_latitude_halfspaces_bad_order(self):
+        with pytest.raises(ValueError):
+            latitude_halfspaces(EQUATORIAL, 50.0, 10.0)

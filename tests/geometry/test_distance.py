@@ -1,0 +1,95 @@
+"""Tests for repro.geometry.distance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    ARCSEC_PER_RADIAN,
+    angular_separation,
+    angular_separation_trig,
+    angular_separation_vectors,
+    arcsec_to_deg,
+    cos_radius_for_arcsec,
+    deg_to_arcsec,
+    position_angle,
+)
+from repro.geometry.vector import radec_to_vector
+
+ras = st.floats(min_value=0.0, max_value=360.0)
+decs = st.floats(min_value=-89.0, max_value=89.0)
+
+
+class TestConstants:
+    def test_arcsec_per_radian(self):
+        assert ARCSEC_PER_RADIAN == pytest.approx(206264.806, abs=1e-3)
+
+    def test_deg_arcsec_roundtrip(self):
+        assert arcsec_to_deg(deg_to_arcsec(1.25)) == pytest.approx(1.25)
+
+
+class TestSeparation:
+    def test_quarter_circle(self):
+        assert angular_separation(0, 0, 90, 0) == pytest.approx(90.0)
+
+    def test_pole_to_pole(self):
+        assert angular_separation(0, 90, 180, -90) == pytest.approx(180.0)
+
+    def test_zero_separation(self):
+        assert angular_separation(123.0, 45.0, 123.0, 45.0) == pytest.approx(0.0)
+
+    def test_small_angle_precision(self):
+        # 1 milliarcsecond apart: acos() would lose this, atan2 keeps it.
+        sep = angular_separation(10.0, 0.0, 10.0 + 1e-3 / 3600.0, 0.0)
+        assert sep == pytest.approx(1e-3 / 3600.0, rel=1e-6)
+
+    @given(ras, decs, ras, decs)
+    @settings(max_examples=200, deadline=None)
+    def test_vector_and_trig_agree(self, ra1, dec1, ra2, dec2):
+        vector_sep = angular_separation(ra1, dec1, ra2, dec2)
+        trig_sep = angular_separation_trig(ra1, dec1, ra2, dec2)
+        assert math.isclose(float(vector_sep), float(trig_sep), abs_tol=1e-8)
+
+    @given(ras, decs, ras, decs)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, ra1, dec1, ra2, dec2):
+        forward = angular_separation(ra1, dec1, ra2, dec2)
+        backward = angular_separation(ra2, dec2, ra1, dec1)
+        assert math.isclose(float(forward), float(backward), abs_tol=1e-12)
+
+    def test_vectorized(self):
+        a = radec_to_vector(np.array([0.0, 0.0]), np.array([0.0, 0.0]))
+        b = radec_to_vector(np.array([90.0, 180.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(
+            angular_separation_vectors(a, b), [90.0, 180.0], atol=1e-12
+        )
+
+
+class TestConeConstant:
+    def test_cos_radius(self):
+        assert cos_radius_for_arcsec(3600.0) == pytest.approx(math.cos(math.radians(1.0)))
+
+    def test_cone_membership_matches_separation(self):
+        # x . n >= cos(radius) iff separation <= radius.
+        center = radec_to_vector(50.0, 20.0)
+        probe = radec_to_vector(50.0, 20.0 + 9.0 / 3600.0)
+        assert float(probe @ center) >= cos_radius_for_arcsec(10.0)
+        probe_far = radec_to_vector(50.0, 20.0 + 11.0 / 3600.0)
+        assert float(probe_far @ center) < cos_radius_for_arcsec(10.0)
+
+
+class TestPositionAngle:
+    def test_north_is_zero(self):
+        assert position_angle(10.0, 0.0, 10.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_east_is_ninety(self):
+        assert position_angle(10.0, 0.0, 11.0, 0.0) == pytest.approx(90.0, abs=1e-9)
+
+    def test_south_is_180(self):
+        assert position_angle(10.0, 0.0, 10.0, -1.0) == pytest.approx(180.0, abs=1e-9)
+
+    def test_west_is_270(self):
+        assert position_angle(10.0, 0.0, 9.0, 0.0) == pytest.approx(270.0, abs=1e-9)

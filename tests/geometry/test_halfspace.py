@@ -1,0 +1,111 @@
+"""Tests for repro.geometry.halfspace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.vector import radec_to_vector, random_unit_vectors
+
+
+class TestConstruction:
+    def test_normalizes_normal(self):
+        hs = Halfspace([0.0, 0.0, 5.0], 0.5)
+        np.testing.assert_allclose(hs.normal, [0, 0, 1])
+
+    def test_rejects_batch_normal(self):
+        with pytest.raises(ValueError):
+            Halfspace(np.ones((2, 3)), 0.0)
+
+    def test_from_cone(self):
+        hs = Halfspace.from_cone(0.0, 90.0, 60.0)
+        assert hs.offset == pytest.approx(0.5)
+        assert hs.radius_deg == pytest.approx(60.0)
+
+    def test_from_cone_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            Halfspace.from_cone(0.0, 0.0, 181.0)
+        with pytest.raises(ValueError):
+            Halfspace.from_cone(0.0, 0.0, -1.0)
+
+
+class TestMembership:
+    def test_contains_center(self):
+        hs = Halfspace.from_cone(30.0, -10.0, 5.0)
+        assert bool(hs.contains(radec_to_vector(30.0, -10.0)))
+
+    def test_excludes_antipode(self):
+        hs = Halfspace.from_cone(30.0, -10.0, 5.0)
+        assert not bool(hs.contains(radec_to_vector(210.0, 10.0)))
+
+    def test_boundary_included(self):
+        hs = Halfspace([0, 0, 1], 0.0)
+        assert bool(hs.contains(np.array([1.0, 0.0, 0.0])))
+
+    def test_vectorized(self):
+        hs = Halfspace([0, 0, 1], 0.0)
+        points = radec_to_vector(np.zeros(3), np.array([10.0, 0.0, -10.0]))
+        np.testing.assert_array_equal(hs.contains(points), [True, True, False])
+
+
+class TestFullEmpty:
+    def test_empty(self):
+        assert Halfspace([0, 0, 1], 1.5).is_empty()
+
+    def test_full(self):
+        assert Halfspace([0, 0, 1], -1.0).is_full()
+
+    def test_ordinary_is_neither(self):
+        hs = Halfspace([0, 0, 1], 0.3)
+        assert not hs.is_empty()
+        assert not hs.is_full()
+
+
+class TestComplement:
+    @given(st.floats(min_value=-0.99, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_complement_partitions_sphere(self, offset):
+        hs = Halfspace([0.3, -0.5, 0.8], offset)
+        comp = hs.complement()
+        points = random_unit_vectors(300, rng=7)
+        in_both = hs.contains(points) & comp.contains(points)
+        in_neither = ~hs.contains(points) & ~comp.contains(points)
+        # Only boundary points (measure zero) may be in both.
+        assert int(in_neither.sum()) == 0
+        assert int(in_both.sum()) == 0
+
+    def test_double_complement(self):
+        hs = Halfspace([1, 2, 3], 0.25)
+        assert hs.complement().complement() == hs
+
+
+class TestArea:
+    def test_hemisphere(self):
+        hs = Halfspace([0, 0, 1], 0.0)
+        assert hs.solid_angle_sr() == pytest.approx(2 * math.pi)
+
+    def test_full_sphere_cap(self):
+        hs = Halfspace([0, 0, 1], -1.0)
+        assert hs.solid_angle_sr() == pytest.approx(4 * math.pi)
+
+    def test_point_cap(self):
+        hs = Halfspace([0, 0, 1], 1.0)
+        assert hs.solid_angle_sr() == pytest.approx(0.0)
+
+    def test_sqdeg_consistent(self):
+        hs = Halfspace([0, 0, 1], 0.0)
+        assert hs.area_sqdeg() == pytest.approx(41252.96 / 2, rel=1e-4)
+
+
+class TestIdentity:
+    def test_eq_and_hash(self):
+        a = Halfspace([0, 0, 1], 0.5)
+        b = Halfspace([0, 0, 2], 0.5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_neq_other_type(self):
+        assert Halfspace([0, 0, 1], 0.5) != "halfspace"

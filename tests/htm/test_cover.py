@@ -1,0 +1,204 @@
+"""Tests for repro.htm.cover — the coverage correctness contract.
+
+The contract: ``inside`` trixels contain only in-region points, and every
+in-region point falls in ``inside | partial``.  These hold for any region
+at any depth; the property tests sweep random caps, bands, and Boolean
+combinations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convex import Convex
+from repro.geometry.coords import GALACTIC
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.region import Region
+from repro.geometry.shapes import circle_region, latitude_band
+from repro.geometry.vector import radec_to_vector, random_unit_vectors
+from repro.htm.cover import (
+    Classification,
+    classify_trixel_halfspace,
+    classify_trixel_region,
+    cover_region,
+)
+from repro.htm.mesh import depth_id_bounds, lookup_ids_from_vectors, trixel_corners
+from repro.htm.trixel import BASE_TRIXELS
+
+
+def assert_coverage_exact(region, coverage, points):
+    """The two safety invariants of a conservative cover."""
+    ids = lookup_ids_from_vectors(points, coverage.depth)
+    in_region = region.contains(points)
+    in_inside = coverage.inside.contains_array(ids)
+    in_candidates = coverage.candidates().contains_array(ids)
+    # 1. No in-region point escapes the candidate set.
+    assert bool(in_candidates[in_region].all())
+    # 2. Inside-classified trixels contain no out-of-region points.
+    assert bool(in_region[in_inside].all())
+
+
+class TestCoverInvariants:
+    @given(
+        st.floats(min_value=0.0, max_value=359.0),
+        st.floats(min_value=-85.0, max_value=85.0),
+        st.floats(min_value=0.05, max_value=40.0),
+        st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_cones(self, ra, dec, radius, depth):
+        region = circle_region(ra, dec, radius)
+        coverage = cover_region(region, depth)
+        # Probe points concentrated around the cap boundary plus global.
+        rng = np.random.default_rng(42)
+        local_ra = rng.uniform(ra - 2 * radius, ra + 2 * radius, 400)
+        local_dec = np.clip(rng.uniform(dec - 2 * radius, dec + 2 * radius, 400), -90, 90)
+        points = np.vstack(
+            [radec_to_vector(local_ra % 360.0, local_dec), random_unit_vectors(200, rng=rng)]
+        )
+        assert_coverage_exact(region, coverage, points)
+
+    @given(
+        st.floats(min_value=-60.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=30.0),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latitude_bands(self, lat_min, width, depth):
+        region = latitude_band(lat_min, lat_min + width)
+        coverage = cover_region(region, depth)
+        points = random_unit_vectors(800, rng=11)
+        assert_coverage_exact(region, coverage, points)
+
+    def test_figure4_crossed_bands(self):
+        region = latitude_band(-10, 10) & latitude_band(20, 40, frame=GALACTIC)
+        coverage = cover_region(region, 6)
+        points = random_unit_vectors(3000, rng=3)
+        assert_coverage_exact(region, coverage, points)
+        assert coverage.stats["rejected"] > 0
+        assert coverage.stats["accepted"] > 0
+
+    def test_union_region(self):
+        region = circle_region(10, 10, 5) | circle_region(200, -40, 8)
+        coverage = cover_region(region, 5)
+        points = random_unit_vectors(1500, rng=5)
+        assert_coverage_exact(region, coverage, points)
+
+    def test_difference_region(self):
+        region = circle_region(50, 0, 10) - circle_region(50, 0, 5)
+        coverage = cover_region(region, 6)
+        rng = np.random.default_rng(9)
+        ra = rng.uniform(35, 65, 800)
+        dec = rng.uniform(-15, 15, 800)
+        assert_coverage_exact(region, coverage, radec_to_vector(ra, dec))
+
+    def test_large_cap_bigger_than_hemisphere(self):
+        region = circle_region(0, 90, 120.0)
+        coverage = cover_region(region, 4)
+        points = random_unit_vectors(2000, rng=13)
+        assert_coverage_exact(region, coverage, points)
+        # A 120-degree cap covers 3/4 of the sphere: most trixels accepted.
+        assert coverage.inside.count() > coverage.partial.count()
+
+
+class TestCoverStructure:
+    def test_full_sphere(self):
+        coverage = cover_region(Region.full_sphere(), 3)
+        lo, hi = depth_id_bounds(3)
+        assert coverage.inside.count() == hi - lo
+        assert coverage.partial.is_empty()
+
+    def test_empty_region(self):
+        coverage = cover_region(Region.empty(), 3)
+        assert coverage.inside.is_empty()
+        assert coverage.partial.is_empty()
+
+    def test_depth_zero(self):
+        coverage = cover_region(circle_region(10, 45, 5), 0)
+        assert coverage.inside.count() + coverage.partial.count() >= 1
+
+    def test_accepts_halfspace_and_convex(self):
+        hs = Halfspace.from_cone(10, 10, 5)
+        from_hs = cover_region(hs, 4)
+        from_convex = cover_region(Convex([hs]), 4)
+        from_region = cover_region(Region.from_halfspace(hs), 4)
+        assert from_hs.inside == from_convex.inside == from_region.inside
+        assert from_hs.partial == from_convex.partial == from_region.partial
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            cover_region("not a region", 4)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            cover_region(Region.full_sphere(), -1)
+
+    def test_pruning_counts_consistent(self):
+        coverage = cover_region(circle_region(0, 0, 2), 7)
+        stats = coverage.stats
+        assert stats["tested"] == stats["accepted"] + stats["rejected"] + stats["bisected"]
+        # Pruning must touch far fewer nodes than the full tree.
+        lo, hi = depth_id_bounds(7)
+        full_tree_nodes = sum(8 * 4**d for d in range(8))
+        assert stats["tested"] < full_tree_nodes / 50
+
+    def test_deeper_cover_tightens(self):
+        region = circle_region(30, 30, 3)
+        shallow = cover_region(region, 4)
+        deep = cover_region(region, 8)
+        # Candidate area shrinks monotonically toward the true cap area.
+        def candidate_area(coverage):
+            total = 0.0
+            lo, _hi = depth_id_bounds(coverage.depth)
+            scale = 4.0 * np.pi / (8 * 4**coverage.depth)
+            return coverage.candidates().count() * scale
+
+        assert candidate_area(deep) < candidate_area(shallow)
+
+
+class TestHalfspaceClassification:
+    def test_small_cap_inside_trixel_is_partial(self):
+        trixel = BASE_TRIXELS[4]  # N0
+        center = trixel.center()
+        hs = Halfspace(center, 0.99999)
+        assert (
+            classify_trixel_halfspace(trixel.corners, hs) is Classification.PARTIAL
+        )
+
+    def test_trixel_inside_large_cap(self):
+        trixel = BASE_TRIXELS[4]
+        hs = Halfspace(trixel.center(), 0.2)
+        assert classify_trixel_halfspace(trixel.corners, hs) is Classification.INSIDE
+
+    def test_trixel_outside_far_cap(self):
+        trixel = BASE_TRIXELS[4]
+        hs = Halfspace(-trixel.center(), 0.95)
+        assert classify_trixel_halfspace(trixel.corners, hs) is Classification.OUTSIDE
+
+    def test_full_halfspace(self):
+        trixel = BASE_TRIXELS[0]
+        hs = Halfspace([0, 0, 1], -1.5)
+        assert classify_trixel_halfspace(trixel.corners, hs) is Classification.INSIDE
+
+    def test_empty_halfspace(self):
+        trixel = BASE_TRIXELS[0]
+        hs = Halfspace([0, 0, 1], 1.5)
+        assert classify_trixel_halfspace(trixel.corners, hs) is Classification.OUTSIDE
+
+    def test_negative_offset_complement_inside(self):
+        # Cap covering all but a small hole around -z; the S trixels near
+        # the hole must not be classified INSIDE.
+        hs = Halfspace([0, 0, 1], -0.999)
+        hole_trixel_corners = trixel_corners(
+            int(lookup_ids_from_vectors(np.array([[0.0, 0.0, -1.0]]), 3)[0])
+        )
+        verdict = classify_trixel_halfspace(hole_trixel_corners, hs)
+        assert verdict is Classification.PARTIAL
+
+    def test_region_or_semantics(self):
+        trixel = BASE_TRIXELS[4]
+        inside_clause = Region.from_halfspace(Halfspace(trixel.center(), 0.2))
+        outside_clause = Region.from_halfspace(Halfspace(-trixel.center(), 0.95))
+        union = inside_clause | outside_clause
+        assert classify_trixel_region(trixel.corners, union) is Classification.INSIDE

@@ -1,0 +1,156 @@
+"""Tests for repro.htm.mesh."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.vector import radec_to_vector, random_unit_vectors, vector_to_radec
+from repro.htm.mesh import (
+    children_of,
+    depth_id_bounds,
+    id_depth,
+    id_to_name,
+    lookup_id,
+    lookup_ids,
+    lookup_ids_from_vectors,
+    name_to_id,
+    parent_of,
+    trixel_corners,
+    trixel_count_at_depth,
+    trixel_from_id,
+)
+
+ras = st.floats(min_value=0.0, max_value=359.999)
+decs = st.floats(min_value=-89.999, max_value=89.999)
+depths = st.integers(min_value=0, max_value=8)
+
+
+class TestIdScheme:
+    def test_root_bounds(self):
+        assert depth_id_bounds(0) == (8, 16)
+
+    def test_depth_one_bounds(self):
+        assert depth_id_bounds(1) == (32, 64)
+
+    def test_count(self):
+        assert trixel_count_at_depth(0) == 8
+        assert trixel_count_at_depth(3) == 8 * 64
+
+    def test_children(self):
+        assert children_of(8) == [32, 33, 34, 35]
+
+    def test_parent(self):
+        assert parent_of(33) == 8
+        assert parent_of(8) is None
+
+    @given(st.integers(min_value=8, max_value=15), depths)
+    @settings(max_examples=60, deadline=None)
+    def test_depth_of_descendants(self, root, depth):
+        node = root
+        for _ in range(depth):
+            node = node * 4 + 3
+        assert id_depth(node) == depth
+
+    def test_invalid_ids_rejected(self):
+        for bad in (0, 1, 7, 16, 17, 31):
+            with pytest.raises(ValueError):
+                id_depth(bad)
+
+    def test_depth_bounds_validation(self):
+        with pytest.raises(ValueError):
+            depth_id_bounds(-1)
+        with pytest.raises(ValueError):
+            depth_id_bounds(99)
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "htm_id,name",
+        [(8, "S0"), (11, "S3"), (12, "N0"), (15, "N3"), (32, "S00"), (63, "N33")],
+    )
+    def test_known_names(self, htm_id, name):
+        assert id_to_name(htm_id) == name
+        assert name_to_id(name) == htm_id
+
+    @given(st.integers(min_value=8, max_value=15), st.lists(st.integers(0, 3), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, root, digits):
+        htm_id = root
+        for d in digits:
+            htm_id = htm_id * 4 + d
+        assert name_to_id(id_to_name(htm_id)) == htm_id
+
+    def test_bad_names(self):
+        for bad in ("X0", "N", "N4", "S0 1", "n0q"):
+            with pytest.raises(ValueError):
+                name_to_id(bad)
+
+    def test_case_insensitive(self):
+        assert name_to_id("n012") == name_to_id("N012")
+
+
+class TestLookup:
+    @given(ras, decs, depths)
+    @settings(max_examples=150, deadline=None)
+    def test_point_inside_its_trixel(self, ra, dec, depth):
+        htm_id = lookup_id(ra, dec, depth)
+        lo, hi = depth_id_bounds(depth)
+        assert lo <= htm_id < hi
+        trixel = trixel_from_id(htm_id)
+        assert bool(trixel.contains(radec_to_vector(ra, dec)))
+
+    @given(ras, decs)
+    @settings(max_examples=60, deadline=None)
+    def test_deeper_is_descendant(self, ra, dec):
+        shallow = lookup_id(ra, dec, 3)
+        deep = lookup_id(ra, dec, 6)
+        assert deep >> (2 * 3) == shallow
+
+    def test_vectorized_matches_scalar(self, rng):
+        ra = rng.uniform(0, 360, 50)
+        dec = rng.uniform(-89, 89, 50)
+        batch = lookup_ids(ra, dec, 7)
+        singles = np.array([lookup_id(r, d, 7) for r, d in zip(ra, dec)])
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_all_points_assigned(self, rng):
+        points = random_unit_vectors(5000, rng=rng)
+        ids = lookup_ids_from_vectors(points, 5)
+        lo, hi = depth_id_bounds(5)
+        assert bool(((ids >= lo) & (ids < hi)).all())
+
+    def test_poles_and_seams(self):
+        # Exact poles, RA 0 seam, octant corners: all must resolve.
+        ra = np.array([0.0, 0.0, 90.0, 180.0, 270.0, 0.0, 45.0])
+        dec = np.array([90.0, -90.0, 0.0, 0.0, 0.0, 0.0, 35.0])
+        ids = lookup_ids(ra, dec, 6)
+        lo, hi = depth_id_bounds(6)
+        assert bool(((ids >= lo) & (ids < hi)).all())
+
+    def test_deterministic_on_edges(self):
+        # The same edge point always maps to the same trixel.
+        first = lookup_id(0.0, 0.0, 8)
+        for _ in range(5):
+            assert lookup_id(0.0, 0.0, 8) == first
+
+    def test_depth_zero(self):
+        assert lookup_id(10.0, 45.0, 0) in range(8, 16)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            lookup_ids(np.array([0.0]), np.array([0.0]), 99)
+
+
+class TestTrixelCorners:
+    @given(ras, decs, depths)
+    @settings(max_examples=60, deadline=None)
+    def test_fast_corners_match_walk(self, ra, dec, depth):
+        htm_id = lookup_id(ra, dec, depth)
+        fast = trixel_corners(htm_id)
+        slow = trixel_from_id(htm_id).corners
+        np.testing.assert_allclose(fast, slow, atol=1e-15)
+
+    def test_corners_unit(self):
+        corners = trixel_corners(name_to_id("N3123"))
+        np.testing.assert_allclose(np.linalg.norm(corners, axis=1), 1.0)

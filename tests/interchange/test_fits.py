@@ -1,0 +1,158 @@
+"""Tests for repro.interchange.fits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.schema import Field, Schema
+from repro.catalog.table import ObjectTable
+from repro.interchange.fits import (
+    BLOCK,
+    binary_table_bytes,
+    parse_binary_table_bytes,
+    read_ascii_packets,
+    read_binary_packets,
+    read_binary_table,
+    stream_ascii_packets,
+    stream_binary_packets,
+    write_binary_table,
+)
+
+
+def tables_equal(a, b):
+    if a.schema.field_names() != b.schema.field_names():
+        return False
+    return all(np.array_equal(a[f.name], b[f.name]) for f in a.schema)
+
+
+class TestBinaryRoundTrip:
+    def test_full_catalog_roundtrip(self, photo):
+        blob = binary_table_bytes(photo)
+        parsed = parse_binary_table_bytes(blob)
+        assert tables_equal(photo, parsed)
+
+    def test_block_alignment(self, photo):
+        blob = binary_table_bytes(photo.take(np.arange(17)))
+        assert len(blob) % BLOCK == 0
+
+    def test_file_roundtrip(self, photo, tmp_path):
+        path = tmp_path / "catalog.fits"
+        write_binary_table(photo.take(np.arange(100)), path)
+        parsed = read_binary_table(path)
+        assert tables_equal(photo.take(np.arange(100)), parsed)
+
+    def test_empty_table(self):
+        schema = Schema("empty", [Field("objid", "i8"), Field("x", "f4")])
+        blob = binary_table_bytes(ObjectTable(schema))
+        parsed = parse_binary_table_bytes(blob)
+        assert len(parsed) == 0
+        assert parsed.schema.field_names() == ["objid", "x"]
+
+    def test_extname_preserved(self, photo):
+        blob = binary_table_bytes(photo.take(np.arange(2)), extname="MYCAT")
+        parsed = parse_binary_table_bytes(blob)
+        assert parsed.schema.name == "MYCAT"
+
+    def test_units_preserved(self, photo):
+        blob = binary_table_bytes(photo.take(np.arange(2)))
+        parsed = parse_binary_table_bytes(blob)
+        assert parsed.schema["ra"].unit == "deg"
+
+    def test_subarray_fields_roundtrip(self, photo):
+        sample = photo.take(np.arange(5))
+        parsed = parse_binary_table_bytes(binary_table_bytes(sample))
+        np.testing.assert_array_equal(parsed["prof_mean"], sample["prof_mean"])
+        assert parsed.schema["prof_mean"].shape == (5, 15)
+
+    def test_not_fits_rejected(self):
+        with pytest.raises(ValueError):
+            parse_binary_table_bytes(b"\x00" * BLOCK * 2)
+
+    def test_truncated_rejected(self, photo):
+        blob = binary_table_bytes(photo.take(np.arange(2)))
+        with pytest.raises(ValueError):
+            parse_binary_table_bytes(blob[: BLOCK - 1])
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_random_tables_roundtrip(self, n_rows):
+        rng = np.random.default_rng(n_rows)
+        schema = Schema(
+            "random",
+            [
+                Field("objid", "i8"),
+                Field("flag", "u1"),
+                Field("short", "i2"),
+                Field("medium", "i4"),
+                Field("single", "f4"),
+                Field("double", "f8"),
+                Field("vec", "f4", shape=(3,)),
+            ],
+        )
+        table = ObjectTable.from_columns(
+            schema,
+            {
+                "objid": rng.integers(-(2**62), 2**62, n_rows),
+                "flag": rng.integers(0, 255, n_rows),
+                "short": rng.integers(-30000, 30000, n_rows),
+                "medium": rng.integers(-(2**31), 2**31 - 1, n_rows),
+                "single": rng.normal(size=n_rows).astype(np.float32),
+                "double": rng.normal(size=n_rows),
+                "vec": rng.normal(size=(n_rows, 3)).astype(np.float32),
+            },
+        )
+        parsed = parse_binary_table_bytes(binary_table_bytes(table))
+        assert tables_equal(table, parsed)
+
+
+class TestBlockedStreams:
+    def test_binary_packets_independent(self, photo):
+        packets = list(stream_binary_packets(photo.take(np.arange(300)), 100))
+        assert len(packets) == 3
+        # Every packet parses on its own.
+        for packet in packets:
+            parsed = parse_binary_table_bytes(packet)
+            assert len(parsed) == 100
+
+    def test_binary_stream_roundtrip(self, photo):
+        sample = photo.take(np.arange(257))
+        packets = stream_binary_packets(sample, 64)
+        rebuilt = read_binary_packets(list(packets))
+        assert tables_equal(sample, rebuilt)
+
+    def test_rows_per_packet_validated(self, photo):
+        with pytest.raises(ValueError):
+            list(stream_binary_packets(photo, 0))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            read_binary_packets([])
+
+
+class TestAsciiStreams:
+    def test_roundtrip_scalars(self, photo):
+        sample = photo.project(["objid", "ra", "dec", "mag_r"]).take(np.arange(50))
+        packets = list(stream_ascii_packets(sample, 20))
+        rebuilt = read_ascii_packets(packets)
+        np.testing.assert_array_equal(sample["objid"], rebuilt["objid"])
+        np.testing.assert_allclose(sample["ra"], rebuilt["ra"], rtol=0, atol=0)
+        np.testing.assert_allclose(sample["mag_r"], rebuilt["mag_r"], rtol=1e-6)
+
+    def test_roundtrip_subarrays(self, photo):
+        sample = photo.project(["objid", "texture"]).take(np.arange(10))
+        rebuilt = read_ascii_packets(list(stream_ascii_packets(sample, 5)))
+        np.testing.assert_allclose(sample["texture"], rebuilt["texture"], rtol=1e-6)
+
+    def test_header_line_self_describes(self, photo):
+        sample = photo.project(["objid", "mag_r"]).take(np.arange(3))
+        packet = next(iter(stream_ascii_packets(sample, 10)))
+        assert packet.startswith("# schema: objid:i8:0 mag_r:f4:0")
+
+    def test_malformed_packet_rejected(self):
+        with pytest.raises(ValueError):
+            read_ascii_packets(["no header\n1 2 3\n"])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            read_ascii_packets([])

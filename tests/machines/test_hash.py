@@ -1,0 +1,143 @@
+"""Tests for repro.machines.hash."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.catalog.skygen import SkySimulator, SurveyParameters
+from repro.machines.hash import HashMachine, PairPredicate
+
+
+@pytest.fixture(scope="module")
+def lens_sky():
+    params = SurveyParameters(
+        n_galaxies=1500,
+        n_stars=800,
+        n_quasars=100,
+        n_lens_pairs=10,
+        seed=31415,
+    )
+    simulator = SkySimulator(params)
+    return simulator, simulator.generate()
+
+
+class TestPairPredicate:
+    def test_separation_only(self, lens_sky):
+        _sim, photo = lens_sky
+        predicate = PairPredicate(max_separation_arcsec=10.0)
+        pairs = predicate.pairs_in_bucket(photo)
+        xyz = photo.positions_xyz()
+        limit = math.cos(math.radians(10.0 / 3600.0))
+        for i, j in pairs:
+            assert float(xyz[i] @ xyz[j]) >= limit
+
+    def test_color_constraint(self, lens_sky):
+        _sim, photo = lens_sky
+        loose = PairPredicate(10.0)
+        tight = PairPredicate(10.0, max_color_difference=0.05)
+        assert len(tight.pairs_in_bucket(photo)) <= len(loose.pairs_in_bucket(photo))
+
+    def test_magnitude_constraint(self, lens_sky):
+        _sim, photo = lens_sky
+        predicate = PairPredicate(10.0, min_magnitude_difference=0.5)
+        r_mag = np.asarray(photo["mag_r"])
+        for i, j in predicate.pairs_in_bucket(photo):
+            assert abs(float(r_mag[i]) - float(r_mag[j])) >= 0.5
+
+    def test_tiny_table(self, lens_sky):
+        _sim, photo = lens_sky
+        predicate = PairPredicate(10.0)
+        assert predicate.pairs_in_bucket(photo.take(np.arange(1))) == []
+
+    def test_blocked_matches_unblocked(self, lens_sky):
+        # The block decomposition must not change the answer.
+        _sim, photo = lens_sky
+        subset = photo.take(np.arange(500))
+        predicate = PairPredicate(3600.0)  # 1 degree: plenty of pairs
+        blocked = PairPredicate(3600.0)
+        blocked.block_rows = 64
+        assert sorted(predicate.pairs_in_bucket(subset)) == sorted(
+            blocked.pairs_in_bucket(subset)
+        )
+
+
+class TestHashMachine:
+    def test_matches_naive(self, lens_sky):
+        _sim, photo = lens_sky
+        predicate = PairPredicate(10.0, max_color_difference=0.05)
+        machine = HashMachine(bucket_depth=7)
+        pairs, _report = machine.run(photo, predicate)
+        objids = np.asarray(photo["objid"], dtype=np.int64)
+        naive = sorted(
+            (min(int(objids[i]), int(objids[j])), max(int(objids[i]), int(objids[j])))
+            for i, j in predicate.pairs_in_bucket(photo)
+        )
+        assert pairs == naive
+
+    def test_recovers_injected_lenses(self, lens_sky):
+        simulator, photo = lens_sky
+        predicate = PairPredicate(
+            10.0, max_color_difference=0.05, min_magnitude_difference=0.1
+        )
+        machine = HashMachine(bucket_depth=7)
+        pairs, _report = machine.run(photo, predicate)
+        truth = {
+            (min(a, b), max(a, b))
+            for a, b in simulator.ground_truth.lens_pair_objids
+        }
+        assert truth <= set(pairs)
+
+    def test_cross_bucket_pairs_found(self):
+        # Construct a pair straddling a trixel boundary: without edge
+        # replication the hash machine would lose it.
+        from repro.catalog.skygen import SkySimulator, SurveyParameters
+
+        params = SurveyParameters(
+            n_galaxies=0, n_stars=0, n_quasars=0, n_lens_pairs=40, seed=777
+        )
+        simulator = SkySimulator(params)
+        photo = simulator.generate()
+        predicate = PairPredicate(10.0, max_color_difference=0.05)
+        # Deliberately deep buckets: trixels ~50 arcsec, so several pairs
+        # are guaranteed to straddle boundaries.
+        machine = HashMachine(bucket_depth=12)
+        pairs, report = machine.run(photo, predicate)
+        truth = {
+            (min(a, b), max(a, b))
+            for a, b in simulator.ground_truth.lens_pair_objids
+        }
+        assert truth <= set(pairs)
+        assert report.objects_replicated > 0
+
+    def test_margin_validation(self, lens_sky):
+        _sim, photo = lens_sky
+        machine = HashMachine(bucket_depth=7)
+        with pytest.raises(ValueError):
+            machine.run(photo, PairPredicate(10.0), margin_arcsec=5.0)
+
+    def test_selection_phase(self, lens_sky):
+        _sim, photo = lens_sky
+        machine = HashMachine(bucket_depth=7)
+        predicate = PairPredicate(10.0)
+        _pairs, report = machine.run(
+            photo, predicate, select_mask_fn=lambda t: t["objtype"] == 3
+        )
+        assert report.objects_selected == int((photo["objtype"] == 3).sum())
+
+    def test_report_savings(self, lens_sky):
+        _sim, photo = lens_sky
+        machine = HashMachine(bucket_depth=7)
+        _pairs, report = machine.run(photo, PairPredicate(10.0))
+        assert report.comparisons < report.naive_comparisons
+        assert report.comparison_savings() > 10.0
+        assert report.buckets > 0
+        assert report.largest_bucket >= 2
+
+    def test_workers_do_not_change_answer(self, lens_sky):
+        _sim, photo = lens_sky
+        predicate = PairPredicate(10.0, max_color_difference=0.05)
+        machine = HashMachine(bucket_depth=7)
+        single, _r1 = machine.run(photo, predicate, workers=1)
+        multi, _r2 = machine.run(photo, predicate, workers=8)
+        assert single == multi

@@ -1,0 +1,176 @@
+"""Tests for repro.query.lexer and .parser."""
+
+import pytest
+
+from repro.query.ast_nodes import (
+    BinaryOp,
+    Column,
+    FuncCall,
+    Literal,
+    Select,
+    SetOp,
+    UnaryOp,
+)
+from repro.query.errors import ParseError
+from repro.query.lexer import Token, tokenize
+from repro.query.parser import parse_expression, parse_query
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75 1e3 2.5E-4")
+        values = [t.value for t in tokens if t.kind == "number"]
+        assert values == ["1", "2.5", ".75", "1e3", "2.5E-4"]
+
+    def test_strings(self):
+        tokens = tokenize("'galactic' \"double\"")
+        assert [t.value for t in tokens[:-1]] == ["galactic", "double"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b >= c != d <> e")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["<=", ">=", "!=", "<>"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- the rest is noise\n b")
+        idents = [t.value for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expression("a + b < c")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a < 1 OR b < 2 AND c < 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a < 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-mag_r")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_function_call(self):
+        expr = parse_expression("CIRCLE(10, 20, 1.5)")
+        assert isinstance(expr, FuncCall)
+        assert expr.name == "CIRCLE"
+        assert len(expr.args) == 3
+
+    def test_nested_functions(self):
+        expr = parse_expression("ABS(mag_g - mag_r)")
+        assert expr.name == "ABS"
+        assert isinstance(expr.args[0], BinaryOp)
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+
+    def test_neq_normalized(self):
+        assert parse_expression("a <> 1").op == "!="
+        assert parse_expression("a != 1").op == "!="
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        ast = parse_query("SELECT * FROM photo")
+        assert isinstance(ast, Select)
+        assert ast.columns == ()
+        assert ast.source == "photo"
+        assert ast.where is None
+
+    def test_columns_and_aliases(self):
+        ast = parse_query("SELECT objid, mag_g - mag_r AS gr FROM photo")
+        assert len(ast.columns) == 2
+        assert ast.columns[0] == (Column("objid"), None)
+        assert ast.columns[1][1] == "gr"
+
+    def test_where(self):
+        ast = parse_query("SELECT * FROM photo WHERE mag_r < 20")
+        assert isinstance(ast.where, BinaryOp)
+
+    def test_order_and_limit(self):
+        ast = parse_query(
+            "SELECT * FROM photo ORDER BY mag_r DESC, objid ASC LIMIT 10"
+        )
+        assert len(ast.order_by) == 2
+        assert ast.order_by[0].descending is True
+        assert ast.order_by[1].descending is False
+        assert ast.limit == 10
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM photo LIMIT -1")
+
+    def test_source_lowercased(self):
+        assert parse_query("SELECT * FROM PHOTO").source == "photo"
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT objid WHERE mag_r < 1")
+
+
+class TestSetOps:
+    def test_union(self):
+        ast = parse_query("(SELECT * FROM photo) UNION (SELECT * FROM photo)")
+        assert isinstance(ast, SetOp)
+        assert ast.op == "UNION"
+
+    def test_left_associative_chain(self):
+        ast = parse_query(
+            "(SELECT * FROM photo) UNION (SELECT * FROM photo) "
+            "EXCEPT (SELECT * FROM photo)"
+        )
+        assert ast.op == "EXCEPT"
+        assert ast.left.op == "UNION"
+
+    def test_nested_parens(self):
+        ast = parse_query(
+            "((SELECT * FROM photo) INTERSECT (SELECT * FROM photo)) "
+            "UNION (SELECT * FROM photo)"
+        )
+        assert ast.op == "UNION"
+        assert ast.left.op == "INTERSECT"
+
+    def test_unparenthesized_selects_also_work(self):
+        ast = parse_query("SELECT * FROM photo UNION SELECT * FROM tag")
+        assert isinstance(ast, SetOp)
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse_query("(SELECT * FROM photo) UNION")

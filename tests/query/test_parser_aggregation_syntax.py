@@ -1,0 +1,60 @@
+"""Parser-level tests for GROUP BY / HAVING syntax."""
+
+import pytest
+
+from repro.query.ast_nodes import BinaryOp, Column, FuncCall
+from repro.query.errors import ParseError
+from repro.query.parser import parse_query
+
+
+class TestGroupBySyntax:
+    def test_single_group_term(self):
+        ast = parse_query(
+            "SELECT objtype, COUNT(objid) AS n FROM photo GROUP BY objtype"
+        )
+        assert ast.group_by == (Column("objtype"),)
+        assert ast.having is None
+
+    def test_multiple_group_terms(self):
+        ast = parse_query(
+            "SELECT run, camcol, COUNT(objid) AS n FROM photo "
+            "GROUP BY run, camcol"
+        )
+        assert len(ast.group_by) == 2
+
+    def test_group_by_expression(self):
+        ast = parse_query(
+            "SELECT FLOOR(mag_r) AS bin, COUNT(objid) AS n "
+            "FROM photo GROUP BY FLOOR(mag_r)"
+        )
+        assert isinstance(ast.group_by[0], FuncCall)
+
+    def test_having_clause(self):
+        ast = parse_query(
+            "SELECT objtype, COUNT(objid) AS n FROM photo "
+            "GROUP BY objtype HAVING n > 10"
+        )
+        assert isinstance(ast.having, BinaryOp)
+
+    def test_clause_order_enforced(self):
+        # HAVING before GROUP BY is not grammatical.
+        with pytest.raises(ParseError):
+            parse_query(
+                "SELECT objtype FROM photo HAVING n > 1 GROUP BY objtype"
+            )
+
+    def test_group_by_requires_by(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT objtype FROM photo GROUP objtype")
+
+    def test_full_clause_chain(self):
+        ast = parse_query(
+            "SELECT objtype, COUNT(objid) AS n FROM photo "
+            "WHERE mag_r < 20 GROUP BY objtype HAVING n > 5 "
+            "ORDER BY n DESC LIMIT 2"
+        )
+        assert ast.where is not None
+        assert ast.group_by
+        assert ast.having is not None
+        assert ast.order_by
+        assert ast.limit == 2

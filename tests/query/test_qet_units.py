@@ -1,0 +1,159 @@
+"""Unit tests for QET plumbing: streams, filter, aggregate internals."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import Field, Schema
+from repro.catalog.table import ObjectTable
+from repro.query.errors import ExecutionError
+from repro.query.qet import AggregateNode, FilterNode, QETNode, Stream
+
+
+def make_table(values):
+    schema = Schema("t", [Field("objid", "i8"), Field("value", "f8")])
+    return ObjectTable.from_columns(
+        schema,
+        {
+            "objid": np.arange(len(values), dtype=np.int64),
+            "value": np.asarray(values, dtype=np.float64),
+        },
+    )
+
+
+class _ListSource(QETNode):
+    """Test helper: emits a fixed list of batches."""
+
+    def __init__(self, batches):
+        super().__init__(())
+        self.batches = batches
+
+    def run(self):
+        for batch in self.batches:
+            if not self._emit(batch):
+                return
+
+
+def run_tree(root):
+    for node in reversed(list(root.walk())):
+        node.start()
+    batches = list(root.output)
+    root.join()
+    return batches
+
+
+class TestStream:
+    def test_push_iter_close(self):
+        stream = Stream()
+        table = make_table([1.0, 2.0])
+
+        def produce():
+            stream.push(table)
+            stream.close()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        got = list(stream)
+        thread.join()
+        assert len(got) == 1
+
+    def test_cancel_unblocks_producer(self):
+        stream = Stream(maxsize=1)
+        table = make_table([1.0])
+        results = []
+
+        def produce():
+            results.append(stream.push(table))  # fills the queue
+            results.append(stream.push(table))  # blocks until cancel
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        import time
+
+        time.sleep(0.05)
+        stream.cancel()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert results[1] is False
+
+    def test_fail_reraises_in_consumer(self):
+        stream = Stream()
+        stream.fail(RuntimeError("boom"))
+        with pytest.raises(ExecutionError):
+            list(stream)
+
+
+class TestFilterNode:
+    def test_filters_rows(self):
+        source = _ListSource([make_table([1.0, 5.0, 3.0])])
+        node = FilterNode(source, lambda t: np.asarray(t["value"]) > 2.0)
+        batches = run_tree(node)
+        assert len(batches) == 1
+        np.testing.assert_array_equal(batches[0]["value"], [5.0, 3.0])
+
+    def test_scalar_mask_broadcasts(self):
+        source = _ListSource([make_table([1.0, 2.0])])
+        node = FilterNode(source, lambda t: np.bool_(False))
+        assert run_tree(node) == []
+
+
+class TestAggregateNode:
+    def test_empty_input_emits_nothing(self):
+        source = _ListSource([])
+        node = AggregateNode(source, [], [("n", "COUNT", lambda t: t["value"])], ["n"])
+        assert run_tree(node) == []
+
+    def test_global_group(self):
+        source = _ListSource([make_table([1.0, 2.0]), make_table([3.0])])
+        node = AggregateNode(
+            source,
+            [],
+            [
+                ("n", "COUNT", lambda t: t["value"]),
+                ("total", "SUM", lambda t: t["value"]),
+            ],
+            ["n", "total"],
+        )
+        batches = run_tree(node)
+        assert int(batches[0]["n"][0]) == 3
+        assert float(batches[0]["total"][0]) == 6.0
+
+    def test_hidden_group_key(self):
+        # A None-named group spec groups without emitting the key column.
+        table = make_table([1.0, 1.0, 2.0])
+        source = _ListSource([table])
+        node = AggregateNode(
+            source,
+            [(None, lambda t: np.asarray(t["value"]))],
+            [("n", "COUNT", lambda t: t["value"])],
+            ["n"],
+        )
+        batches = run_tree(node)
+        assert batches[0].schema.field_names() == ["n"]
+        assert sorted(np.asarray(batches[0]["n"]).tolist()) == [1, 2]
+
+    def test_multi_key_grouping(self):
+        schema = Schema("m", [Field("a", "i8"), Field("b", "i8"), Field("v", "f8")])
+        table = ObjectTable.from_columns(
+            schema,
+            {
+                "a": np.array([0, 0, 1, 1, 0]),
+                "b": np.array([0, 1, 0, 0, 0]),
+                "v": np.arange(5, dtype=np.float64),
+            },
+        )
+        source = _ListSource([table])
+        node = AggregateNode(
+            source,
+            [("a", lambda t: t["a"]), ("b", lambda t: t["b"])],
+            [("n", "COUNT", lambda t: t["v"])],
+            ["a", "b", "n"],
+        )
+        batches = run_tree(node)
+        result = batches[0]
+        got = {
+            (int(a), int(b)): int(n)
+            for a, b, n in zip(result["a"], result["b"], result["n"])
+        }
+        assert got == {(0, 0): 2, (0, 1): 1, (1, 0): 2}

@@ -1,0 +1,121 @@
+"""Tests for repro.science.charts and .tiling."""
+
+import numpy as np
+import pytest
+
+from repro.science.charts import make_finding_chart
+from repro.science.classify import select_galaxy_targets
+from repro.science.tiling import plan_tiles
+
+
+class TestFindingCharts:
+    def test_object_selection(self, photo):
+        ra = float(photo["ra"][0])
+        dec = float(photo["dec"][0])
+        chart = make_finding_chart(photo, ra, dec, radius_arcmin=30.0)
+        from repro.geometry.distance import angular_separation
+
+        # All charted objects within the radius.
+        for row in chart.rows:
+            sep = angular_separation(
+                ra, dec, float(photo["ra"][row]), float(photo["dec"][row])
+            )
+            assert float(sep) * 60.0 <= 30.0 + 1e-6
+        assert chart.object_count() >= 1  # the target itself
+
+    def test_center_object_projects_to_origin(self, photo):
+        ra = float(photo["ra"][10])
+        dec = float(photo["dec"][10])
+        chart = make_finding_chart(photo, ra, dec, radius_arcmin=10.0)
+        target = np.nonzero(chart.rows == 10)[0]
+        assert target.size == 1
+        assert abs(float(chart.x[target[0]])) < 1e-9
+        assert abs(float(chart.y[target[0]])) < 1e-9
+
+    def test_projection_scale(self, photo):
+        # Gnomonic offsets approximate angular offsets at small radii.
+        ra = float(photo["ra"][0])
+        dec = float(photo["dec"][0])
+        chart = make_finding_chart(photo, ra, dec, radius_arcmin=60.0)
+        from repro.geometry.distance import angular_separation
+
+        for k, row in enumerate(chart.rows[:20]):
+            sep_arcmin = float(
+                angular_separation(
+                    ra, dec, float(photo["ra"][row]), float(photo["dec"][row])
+                )
+            ) * 60.0
+            planar = float(np.hypot(chart.x[k], chart.y[k]))
+            assert planar == pytest.approx(sep_arcmin, rel=0.01, abs=1e-6)
+
+    def test_mag_limit(self, photo):
+        ra = float(photo["ra"][0])
+        dec = float(photo["dec"][0])
+        all_chart = make_finding_chart(photo, ra, dec, radius_arcmin=60.0)
+        bright_chart = make_finding_chart(
+            photo, ra, dec, radius_arcmin=60.0, mag_limit=18.0
+        )
+        assert bright_chart.object_count() <= all_chart.object_count()
+        assert bool((bright_chart.magnitudes <= 18.0).all())
+
+    def test_grid_renders(self, photo):
+        chart = make_finding_chart(
+            photo, float(photo["ra"][0]), float(photo["dec"][0]), radius_arcmin=30.0
+        )
+        lines = chart.grid.splitlines()
+        assert lines[0].startswith("+")
+        assert any("star" in line for line in lines)
+
+    def test_validation(self, photo):
+        with pytest.raises(ValueError):
+            make_finding_chart(photo, 0.0, 0.0, radius_arcmin=-1.0)
+        with pytest.raises(ValueError):
+            make_finding_chart(photo, 0.0, 0.0, width_chars=10)
+
+
+class TestTiling:
+    def test_full_coverage_without_tile_limit(self, photo):
+        mask = select_galaxy_targets(photo, r_limit=18.5)
+        tiles, coverage = plan_tiles(photo, mask, radius_deg=3.0, fibers_per_tile=640)
+        assert coverage == pytest.approx(1.0)
+        assigned = np.concatenate([t.target_rows for t in tiles])
+        assert len(np.unique(assigned)) == int(mask.sum())
+
+    def test_fiber_limit_respected(self, photo):
+        mask = select_galaxy_targets(photo, r_limit=20.0)
+        tiles, _coverage = plan_tiles(photo, mask, radius_deg=3.0, fibers_per_tile=50)
+        for tile in tiles:
+            assert tile.target_count() <= 50
+
+    def test_max_tiles_bound(self, photo):
+        mask = select_galaxy_targets(photo, r_limit=20.0)
+        tiles, coverage = plan_tiles(photo, mask, max_tiles=5)
+        assert len(tiles) <= 5
+        assert 0.0 < coverage <= 1.0
+
+    def test_targets_inside_their_tile(self, photo):
+        from repro.geometry.distance import angular_separation
+
+        mask = select_galaxy_targets(photo, r_limit=18.5)
+        tiles, _coverage = plan_tiles(photo, mask, radius_deg=2.0)
+        for tile in tiles[:10]:
+            for row in tile.target_rows[:20]:
+                sep = angular_separation(
+                    tile.center_ra, tile.center_dec,
+                    float(photo["ra"][row]), float(photo["dec"][row]),
+                )
+                assert float(sep) <= 2.0 + 1e-6
+
+    def test_greedy_prefers_dense_areas(self, photo):
+        # The first tile placed should capture at least as many targets
+        # as the mean over tiles (greedy max-coverage signature).
+        mask = select_galaxy_targets(photo, r_limit=20.0)
+        tiles, _coverage = plan_tiles(photo, mask, radius_deg=1.5, max_tiles=20)
+        counts = [t.target_count() for t in tiles]
+        assert counts[0] >= np.mean(counts)
+
+    def test_empty_targets(self, photo):
+        mask = np.zeros(len(photo), dtype=bool)
+        tiles, coverage = plan_tiles(photo, mask)
+        assert tiles == []
+        assert coverage == 1.0

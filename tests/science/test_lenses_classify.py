@@ -1,0 +1,88 @@
+"""Tests for repro.science.lenses and .classify."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import ObjectType
+from repro.science.classify import (
+    classify_by_colors,
+    select_galaxy_targets,
+    select_quasar_candidates,
+    select_red_galaxies,
+)
+from repro.science.lenses import LensCandidate, find_lens_candidates, naive_lens_search
+
+
+class TestLensSearch:
+    def test_recovers_injections(self, simulator, photo):
+        candidates, _report = find_lens_candidates(
+            photo, color_tolerance=0.05, min_magnitude_difference=0.1
+        )
+        found = {(c.objid_a, c.objid_b) for c in candidates}
+        truth = {
+            (min(a, b), max(a, b))
+            for a, b in simulator.ground_truth.lens_pair_objids
+        }
+        assert truth <= found
+
+    def test_agrees_with_naive(self, photo):
+        candidates, _report = find_lens_candidates(
+            photo, color_tolerance=0.05, min_magnitude_difference=0.1
+        )
+        naive = naive_lens_search(photo, 10.0, 0.05, 0.1)
+        assert sorted((c.objid_a, c.objid_b) for c in candidates) == naive
+
+    def test_candidate_fields_consistent(self, photo):
+        candidates, _report = find_lens_candidates(photo, color_tolerance=0.05)
+        for candidate in candidates:
+            assert isinstance(candidate, LensCandidate)
+            assert candidate.objid_a < candidate.objid_b
+            assert 0.0 <= candidate.separation_arcsec <= 10.0 + 1e-6
+            assert candidate.color_distance <= 0.05 + 1e-9
+
+    def test_sorted_by_separation(self, photo):
+        candidates, _report = find_lens_candidates(photo, color_tolerance=0.05)
+        separations = [c.separation_arcsec for c in candidates]
+        assert separations == sorted(separations)
+
+    def test_report_stats(self, photo):
+        _candidates, report = find_lens_candidates(photo, color_tolerance=0.05)
+        assert report.objects_selected == len(photo)
+        assert report.comparisons <= report.naive_comparisons
+
+
+class TestColorSelections:
+    def test_quasar_candidates_capture_quasars(self, photo):
+        mask = select_quasar_candidates(photo, r_limit=22.5)
+        selected_types = np.asarray(photo["objtype"])[mask]
+        # Quasar candidates should be enriched in true quasars versus the
+        # parent population.
+        base_rate = float((photo["objtype"] == 3).mean())
+        candidate_rate = float((selected_types == 3).mean())
+        assert candidate_rate > 5 * base_rate
+
+    def test_quasar_candidates_are_blue(self, photo):
+        mask = select_quasar_candidates(photo)
+        u_g = np.asarray(photo["mag_u"]) - np.asarray(photo["mag_g"])
+        assert bool((u_g[mask] < 0.6).all())
+
+    def test_red_galaxies_are_red_galaxies(self, photo):
+        mask = select_red_galaxies(photo)
+        g_r = np.asarray(photo["mag_g"]) - np.asarray(photo["mag_r"])
+        assert bool((g_r[mask] >= 0.7).all())
+        assert bool((np.asarray(photo["objtype"])[mask] == 2).all())
+
+    def test_galaxy_targets_magnitude_cut(self, photo):
+        mask = select_galaxy_targets(photo, r_limit=19.0)
+        assert bool((np.asarray(photo["mag_r"])[mask] < 19.0).all())
+        assert bool((np.asarray(photo["objtype"])[mask] == 2).all())
+
+    def test_classifier_beats_chance(self, photo):
+        codes = classify_by_colors(photo)
+        accuracy = float((codes == np.asarray(photo["objtype"])).mean())
+        assert accuracy > 0.7
+
+    def test_classifier_separates_extended(self, photo):
+        codes = classify_by_colors(photo)
+        big = np.asarray(photo["petro_r50"]) > 3.0
+        assert bool((codes[big] == ObjectType.GALAXY.value).all())

@@ -1,0 +1,147 @@
+"""Tests for repro.science.neighbors."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import angular_separation
+from repro.science.neighbors import (
+    _auto_depth,
+    neighbor_pairs,
+    nearest_neighbor,
+    quasars_with_faint_blue_neighbors,
+)
+
+
+def brute_force_pairs(left, right, radius_arcsec, self_join):
+    """Reference cross-match by full O(n*m) separation matrix."""
+    lxyz = left.positions_xyz()
+    rxyz = right.positions_xyz()
+    gram = lxyz @ rxyz.T
+    import math
+
+    limit = math.cos(math.radians(radius_arcsec / 3600.0))
+    ii, jj = np.nonzero(gram >= limit)
+    if self_join:
+        keep = ii != jj
+        ii, jj = ii[keep], jj[keep]
+    return set(zip(ii.tolist(), jj.tolist()))
+
+
+@pytest.fixture(scope="module")
+def dense_patch():
+    """A dense patch so that close pairs actually exist."""
+    from repro.catalog.skygen import SkySimulator, SurveyParameters
+    from repro.geometry.shapes import circle_region
+
+    params = SurveyParameters(
+        n_galaxies=2500,
+        n_stars=800,
+        n_quasars=100,
+        footprint=circle_region(100.0, 20.0, 3.0),
+        cluster_scale_arcmin=1.0,
+        seed=2718,
+    )
+    return SkySimulator(params).generate()
+
+
+class TestNeighborPairs:
+    @pytest.mark.parametrize("radius", [5.0, 30.0, 120.0])
+    def test_self_join_matches_brute_force(self, dense_patch, radius):
+        li, rj, sep = neighbor_pairs(dense_patch, dense_patch, radius)
+        got = set(zip(li.tolist(), rj.tolist()))
+        expected = brute_force_pairs(dense_patch, dense_patch, radius, self_join=True)
+        assert got == expected
+
+    def test_cross_join_matches_brute_force(self, dense_patch):
+        left = dense_patch.select(dense_patch["objtype"] == 3)
+        right = dense_patch.select(dense_patch["objtype"] == 2)
+        li, rj, _sep = neighbor_pairs(left, right, 60.0)
+        got = set(zip(li.tolist(), rj.tolist()))
+        expected = brute_force_pairs(left, right, 60.0, self_join=False)
+        assert got == expected
+
+    def test_separations_correct(self, dense_patch):
+        li, rj, sep = neighbor_pairs(dense_patch, dense_patch, 30.0)
+        for a, b, s in list(zip(li, rj, sep))[:25]:
+            expected = angular_separation(
+                float(dense_patch["ra"][a]), float(dense_patch["dec"][a]),
+                float(dense_patch["ra"][b]), float(dense_patch["dec"][b]),
+            ) * 3600.0
+            assert float(s) == pytest.approx(float(expected), abs=1e-6)
+            assert float(s) <= 30.0 + 1e-9
+
+    def test_empty_result(self, dense_patch):
+        # Objects confined to a 3-degree patch: nothing within 1 arcsec of
+        # the opposite pole patch.
+        far = dense_patch.take(np.arange(5))
+        near = dense_patch.take(np.arange(5, 10))
+        li, rj, sep = neighbor_pairs(far, near, 0.001)
+        assert li.size == rj.size == sep.size
+
+    def test_radius_validated(self, dense_patch):
+        with pytest.raises(ValueError):
+            neighbor_pairs(dense_patch, dense_patch, -1.0)
+
+    def test_explicit_depth_agrees(self, dense_patch):
+        li1, rj1, _ = neighbor_pairs(dense_patch, dense_patch, 30.0, depth=6)
+        li2, rj2, _ = neighbor_pairs(dense_patch, dense_patch, 30.0, depth=9)
+        assert set(zip(li1.tolist(), rj1.tolist())) == set(
+            zip(li2.tolist(), rj2.tolist())
+        )
+
+
+class TestAutoDepth:
+    def test_monotone_in_radius(self):
+        assert _auto_depth(1.0) >= _auto_depth(60.0) >= _auto_depth(3600.0)
+
+    def test_bounds(self):
+        assert 4 <= _auto_depth(0.01) <= 12
+        assert 4 <= _auto_depth(1e6) <= 12
+
+
+class TestNearestNeighbor:
+    def test_nearest_is_minimal(self, dense_patch):
+        left = dense_patch.take(np.arange(0, 200))
+        right = dense_patch.take(np.arange(200, 1200))
+        index, sep = nearest_neighbor(left, right, max_radius_arcsec=1800.0)
+        lxyz = left.positions_xyz()
+        rxyz = right.positions_xyz()
+        gram = lxyz @ rxyz.T
+        best = np.argmax(gram, axis=1)
+        for k in range(len(left)):
+            if index[k] >= 0:
+                assert index[k] == best[k]
+
+    def test_unmatched_get_minus_one(self, dense_patch):
+        left = dense_patch.take(np.arange(5))
+        right = dense_patch.take(np.arange(5, 10))
+        index, sep = nearest_neighbor(left, right, max_radius_arcsec=0.001)
+        assert bool((index == -1).all())
+        assert bool(np.isnan(sep).all())
+
+
+class TestQuasarNeighborQuery:
+    def test_ground_truth_recovered(self, simulator, photo):
+        quasar_rows, galaxy_rows, separations = quasars_with_faint_blue_neighbors(photo)
+        found = {
+            (int(photo["objid"][q]), int(photo["objid"][g]))
+            for q, g in zip(quasar_rows, galaxy_rows)
+        }
+        truth = set(simulator.ground_truth.quasar_neighbor_objids)
+        assert truth <= found
+        assert bool((separations <= 5.0 + 1e-9).all())
+
+    def test_all_results_satisfy_cuts(self, photo):
+        quasar_rows, galaxy_rows, _sep = quasars_with_faint_blue_neighbors(photo)
+        for q in quasar_rows:
+            assert photo["objtype"][q] == 3
+            assert float(photo["mag_r"][q]) < 22.0
+        for g in galaxy_rows:
+            assert photo["objtype"][g] == 2
+            assert float(photo["mag_r"][g]) >= 21.0
+            assert float(photo["mag_g"][g]) - float(photo["mag_r"][g]) <= 0.4
+
+    def test_no_quasars_case(self, photo):
+        stars_only = photo.select(photo["objtype"] == 1)
+        q, g, s = quasars_with_faint_blue_neighbors(stars_only)
+        assert q.size == 0 and g.size == 0 and s.size == 0

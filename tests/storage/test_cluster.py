@@ -1,0 +1,124 @@
+"""Tests for repro.storage.cluster — the distributed archive."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import circle_region, latitude_band
+from repro.storage.cluster import DistributedArchive
+
+
+@pytest.fixture(scope="module")
+def archive(request):
+    photo = request.getfixturevalue("photo")
+    return DistributedArchive.from_table(photo, depth=5, n_servers=6)
+
+
+class TestDistribution:
+    def test_all_objects_placed(self, photo, archive):
+        assert archive.total_objects() == len(photo)
+
+    def test_loads_balanced(self, archive):
+        loads = archive.server_loads()
+        mean = sum(loads.values()) / len(loads)
+        assert max(loads.values()) < 1.5 * mean
+
+    def test_containers_on_their_owner(self, archive):
+        for server in archive.servers:
+            for htm_id in server.store.containers:
+                assert archive.partition_map.server_for(htm_id) == server.server_id
+
+    def test_needs_servers(self, photo):
+        with pytest.raises(ValueError):
+            DistributedArchive.from_table(photo, depth=5, n_servers=0)
+
+
+class TestDistributedQueries:
+    def test_query_matches_brute_force(self, photo, archive):
+        region = circle_region(40.0, 30.0, 5.0)
+        result, report = archive.query_region(region)
+        expected = int(region.contains(photo.positions_xyz()).sum())
+        assert len(result) == expected
+        assert report.rows_returned == expected
+
+    def test_small_query_touches_few_servers(self, archive):
+        region = circle_region(40.0, 30.0, 0.5)
+        _result, report = archive.query_region(region)
+        assert report.servers_touched <= 2
+
+    def test_allsky_scan_touches_all_servers(self, photo, archive):
+        result, report = archive.scan_all()
+        assert len(result) == len(photo)
+        assert report.servers_touched == report.servers_total
+
+    def test_scan_with_predicate(self, photo, archive):
+        result, _report = archive.scan_all(lambda t: t["objtype"] == 3)
+        assert len(result) == int((photo["objtype"] == 3).sum())
+
+    def test_parallel_speedup_on_wide_queries(self, archive):
+        # A band crossing every server: parallel time ~ single / servers.
+        region = latitude_band(-90.0, 90.0)
+        _result, report = archive.query_region(region)
+        assert report.servers_touched == report.servers_total
+        assert report.parallel_speedup() > len(archive.servers) * 0.5
+
+    def test_extra_mask(self, photo, archive):
+        region = circle_region(40.0, 30.0, 8.0)
+        result, _report = archive.query_region(
+            region, extra_mask_fn=lambda t: t["mag_r"] < 19.0
+        )
+        expected = int(
+            (
+                region.contains(photo.positions_xyz())
+                & (np.asarray(photo["mag_r"]) < 19.0)
+            ).sum()
+        )
+        assert len(result) == expected
+
+    def test_empty_region(self, archive):
+        from repro.geometry.region import Region
+
+        result, report = archive.query_region(Region.empty())
+        assert len(result) == 0
+        assert report.servers_touched == 0
+
+
+class TestScaleOut:
+    def test_add_servers_preserves_data(self, photo):
+        archive = DistributedArchive.from_table(photo, depth=5, n_servers=4)
+        moved = archive.add_servers(2)
+        assert archive.total_objects() == len(photo)
+        assert len(archive.servers) == 6
+        assert moved > 0  # repartitioning really moved something
+
+    def test_add_servers_rebalances(self, photo):
+        archive = DistributedArchive.from_table(photo, depth=5, n_servers=2)
+        archive.add_servers(4)
+        loads = archive.server_loads()
+        mean = sum(loads.values()) / len(loads)
+        assert max(loads.values()) < 1.6 * mean
+
+    def test_queries_correct_after_scale_out(self, photo):
+        archive = DistributedArchive.from_table(photo, depth=5, n_servers=3)
+        region = circle_region(40.0, 30.0, 6.0)
+        before, _r = archive.query_region(region)
+        archive.add_servers(3)
+        after, _r2 = archive.query_region(region)
+        assert sorted(np.asarray(before["objid"]).tolist()) == sorted(
+            np.asarray(after["objid"]).tolist()
+        )
+
+    def test_incremental_load(self, photo):
+        half = len(photo) // 2
+        archive = DistributedArchive(photo.schema, 5, 4)
+        archive.load(photo.take(np.arange(half)))
+        archive.load(photo.take(np.arange(half, len(photo))))
+        assert archive.total_objects() == len(photo)
+        result, _report = archive.scan_all()
+        assert sorted(np.asarray(result["objid"]).tolist()) == sorted(
+            np.asarray(photo["objid"]).tolist()
+        )
+
+    def test_add_servers_validated(self, photo):
+        archive = DistributedArchive.from_table(photo, depth=5, n_servers=2)
+        with pytest.raises(ValueError):
+            archive.add_servers(0)

@@ -1,0 +1,114 @@
+"""Tests for repro.storage.containers."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import PHOTO_SCHEMA
+from repro.catalog.table import ObjectTable
+from repro.geometry.shapes import circle_region, latitude_band
+from repro.htm.mesh import depth_id_bounds, lookup_ids_from_vectors
+from repro.storage.containers import ContainerStore
+
+
+class TestClustering:
+    def test_every_object_stored_once(self, photo, photo_store):
+        assert photo_store.total_objects() == len(photo)
+        assert photo_store.total_bytes() == photo.nbytes()
+
+    def test_containers_hold_their_trixel(self, photo, photo_store):
+        # Each container's rows must map back to its trixel id.
+        for htm_id in list(photo_store.containers)[:40]:
+            container = photo_store.containers[htm_id]
+            ids = lookup_ids_from_vectors(
+                container.table.positions_xyz(), photo_store.depth
+            )
+            assert bool((ids == htm_id).all())
+
+    def test_ids_at_container_depth(self, photo_store):
+        lo, hi = depth_id_bounds(photo_store.depth)
+        for htm_id in photo_store.containers:
+            assert lo <= htm_id < hi
+
+    def test_get_or_create(self, photo_store):
+        store = ContainerStore(PHOTO_SCHEMA, 5)
+        lo, _hi = depth_id_bounds(5)
+        container = store.get_or_create(lo)
+        assert len(container) == 0
+        assert store.get_or_create(lo) is container
+
+    def test_get_or_create_validates_depth(self):
+        store = ContainerStore(PHOTO_SCHEMA, 5)
+        with pytest.raises(ValueError):
+            store.get_or_create(8)  # a depth-0 id
+
+    def test_empty_table(self):
+        store = ContainerStore.from_table(ObjectTable(PHOTO_SCHEMA), 5)
+        assert len(store) == 0
+        assert store.total_objects() == 0
+
+
+class TestQuerying:
+    @pytest.mark.parametrize(
+        "region_factory",
+        [
+            lambda: circle_region(40.0, 30.0, 4.0),
+            lambda: circle_region(200.0, -50.0, 10.0),
+            lambda: latitude_band(-5.0, 5.0),
+            lambda: circle_region(0.5, 0.5, 2.0),  # straddles the RA seam octants
+        ],
+    )
+    def test_query_matches_brute_force(self, photo, photo_store, region_factory):
+        region = region_factory()
+        result, stats = photo_store.query_region(region)
+        expected_mask = region.contains(photo.positions_xyz())
+        assert len(result) == int(expected_mask.sum())
+        assert stats.objects_returned == len(result)
+        expected_ids = set(np.asarray(photo["objid"])[expected_mask].tolist())
+        got_ids = set(np.asarray(result["objid"]).tolist()) if len(result) else set()
+        assert got_ids == expected_ids
+
+    def test_query_with_extra_mask(self, photo, photo_store):
+        region = circle_region(40.0, 30.0, 8.0)
+        result, _stats = photo_store.query_region(
+            region, extra_mask_fn=lambda t: t["mag_r"] < 20.0
+        )
+        expected = region.contains(photo.positions_xyz()) & (photo["mag_r"] < 20.0)
+        assert len(result) == int(expected.sum())
+
+    def test_stats_accounting(self, photo_store):
+        region = circle_region(40.0, 30.0, 6.0)
+        _result, stats = photo_store.query_region(region)
+        assert (
+            stats.containers_accepted
+            + stats.containers_bisected
+            + stats.containers_rejected
+            == stats.containers_total
+        )
+        assert stats.objects_scanned() == (
+            stats.objects_accepted_wholesale + stats.objects_point_tested
+        )
+        # The index must reject the overwhelming majority of containers
+        # for a 6-degree query.
+        assert stats.containers_rejected > 0.8 * stats.containers_total
+
+    def test_accepted_containers_skip_point_tests(self, photo_store):
+        # A huge region accepts containers wholesale.
+        region = circle_region(0.0, 90.0, 170.0)
+        _result, stats = photo_store.query_region(region)
+        assert stats.objects_accepted_wholesale > 0
+
+    def test_scan_all(self, photo, photo_store):
+        result, stats = photo_store.scan_all()
+        assert len(result) == len(photo)
+        assert stats.bytes_touched == photo.nbytes()
+
+    def test_scan_all_with_predicate(self, photo, photo_store):
+        result, _stats = photo_store.scan_all(lambda t: t["objtype"] == 3)
+        assert len(result) == int((photo["objtype"] == 3).sum())
+
+    def test_query_empty_region_returns_empty(self, photo_store):
+        from repro.geometry.region import Region
+
+        result, stats = photo_store.query_region(Region.empty())
+        assert len(result) == 0
+        assert stats.containers_rejected == stats.containers_total

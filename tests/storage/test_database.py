@@ -1,0 +1,29 @@
+"""Tests for repro.storage.database."""
+
+from repro.storage.database import Database
+
+
+class TestDatabase:
+    def test_membership(self):
+        db = Database("db0", 0, container_ids=(100, 101))
+        assert 100 in db
+        assert 102 not in db
+        assert len(db) == 2
+
+    def test_add_remove(self):
+        db = Database("db0", 1)
+        db.add(50)
+        assert 50 in db
+        db.remove(50)
+        assert 50 not in db
+        db.remove(999)  # removing a non-member is a no-op
+
+    def test_identity_fields(self):
+        db = Database("science_42", 3, container_ids=(7,))
+        assert db.name == "science_42"
+        assert db.server_id == 3
+        assert "server=3" in repr(db)
+
+    def test_ids_coerced_to_int(self):
+        db = Database("db0", 0, container_ids=("5",))
+        assert 5 in db

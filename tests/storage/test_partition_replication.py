@@ -1,0 +1,143 @@
+"""Tests for repro.storage.partition and .replication."""
+
+import numpy as np
+import pytest
+
+from repro.htm.mesh import depth_id_bounds
+from repro.htm.ranges import RangeSet
+from repro.storage.partition import PartitionMap, Partitioner
+from repro.storage.replication import ReplicationManager
+
+
+@pytest.fixture(scope="module")
+def weights(photo_store_module):
+    return {cid: len(c) for cid, c in photo_store_module.containers.items()}
+
+
+@pytest.fixture(scope="module")
+def photo_store_module(request):
+    # Reuse the session store through the fixture chain.
+    return request.getfixturevalue("photo_store")
+
+
+class TestPartitionMap:
+    def test_needs_matching_boundaries(self):
+        with pytest.raises(ValueError):
+            PartitionMap([0, 10], 2)
+
+    def test_boundaries_sorted(self):
+        with pytest.raises(ValueError):
+            PartitionMap([10, 0, 20], 2)
+
+    def test_server_for_ranges(self):
+        pmap = PartitionMap([0, 10, 20], 2)
+        assert pmap.server_for(0) == 0
+        assert pmap.server_for(9) == 0
+        assert pmap.server_for(10) == 1
+        assert pmap.server_for(19) == 1
+
+    def test_out_of_space_rejected(self):
+        pmap = PartitionMap([0, 10, 20], 2)
+        with pytest.raises(ValueError):
+            pmap.server_for(25)
+
+    def test_vectorized_matches_scalar(self, weights):
+        partitioner = Partitioner(5)
+        pmap = partitioner.build(weights, 4)
+        ids = np.array(sorted(weights))
+        vector_result = pmap.server_for_array(ids)
+        scalar_result = np.array([pmap.server_for(int(i)) for i in ids])
+        np.testing.assert_array_equal(vector_result, scalar_result)
+
+    def test_ranges_cover_space(self):
+        lo, hi = depth_id_bounds(5)
+        pmap = Partitioner(5).build({}, 3)
+        union = RangeSet()
+        for server in range(3):
+            union = union | pmap.ranges_for(server)
+        assert union.intervals == ((lo, hi - 1),)
+
+    def test_servers_for_rangeset(self, weights):
+        pmap = Partitioner(5).build(weights, 4)
+        lo, hi = depth_id_bounds(5)
+        all_servers = pmap.servers_for_rangeset(RangeSet([(lo, hi - 1)]))
+        assert all_servers == {0, 1, 2, 3}
+        # A tiny range should hit one server.
+        tiny = RangeSet([(lo + 5, lo + 5)])
+        assert len(pmap.servers_for_rangeset(tiny)) == 1
+
+
+class TestPartitioner:
+    def test_balanced_loads(self, weights):
+        pmap = Partitioner(5).build(weights, 5)
+        loads = {}
+        for cid, w in weights.items():
+            server = pmap.server_for(cid)
+            loads[server] = loads.get(server, 0) + w
+        mean_load = sum(loads.values()) / 5
+        assert max(loads.values()) < 1.3 * mean_load
+
+    def test_single_server(self, weights):
+        pmap = Partitioner(5).build(weights, 1)
+        assert all(pmap.server_for(cid) == 0 for cid in weights)
+
+    def test_needs_positive_servers(self, weights):
+        with pytest.raises(ValueError):
+            Partitioner(5).build(weights, 0)
+
+    def test_repartition_reports_movement(self, weights):
+        partitioner = Partitioner(5)
+        old = partitioner.build(weights, 4)
+        new, report = partitioner.repartition(old, weights, 6)
+        assert report.objects_total == sum(weights.values())
+        assert 0.0 <= report.moved_fraction() <= 1.0
+        # Same server count should move nothing.
+        _same, report_same = partitioner.repartition(old, weights, 4)
+        assert report_same.objects_moved == 0
+
+    def test_locality_preserved(self, weights):
+        # Contiguous id ranges: consecutive occupied containers map to
+        # non-decreasing servers.
+        pmap = Partitioner(5).build(weights, 4)
+        servers = [pmap.server_for(cid) for cid in sorted(weights)]
+        assert servers == sorted(servers)
+
+
+class TestReplication:
+    def test_rebalance_replicates_hot(self, weights):
+        pmap = Partitioner(5).build(weights, 4)
+        manager = ReplicationManager(pmap, replication_factor=2, hot_fraction=0.1)
+        hot = sorted(weights)[:20]
+        for cid in hot:
+            for _ in range(10):
+                manager.record_access(cid)
+        placements = manager.rebalance()
+        assert placements, "expected at least one replica placement"
+        for cid, server in placements:
+            assert server in manager.replica_servers(cid)
+            assert len(manager.replica_servers(cid)) >= 2
+
+    def test_routing_prefers_less_loaded(self, weights):
+        pmap = Partitioner(5).build(weights, 4)
+        manager = ReplicationManager(pmap, replication_factor=3, hot_fraction=1.0)
+        target_cid = sorted(weights)[0]
+        manager.record_access(target_cid)
+        manager.rebalance()
+        servers_used = {manager.route_read(target_cid) for _ in range(30)}
+        # With 3 replicas and load balancing, reads spread over servers.
+        assert len(servers_used) >= 2
+
+    def test_replicated_count(self, weights):
+        pmap = Partitioner(5).build(weights, 4)
+        manager = ReplicationManager(pmap, replication_factor=2, hot_fraction=0.5)
+        assert manager.replicated_container_count() == 0
+        manager.record_access(sorted(weights)[0])
+        manager.rebalance()
+        assert manager.replicated_container_count() == 1
+
+    def test_validation(self, weights):
+        pmap = Partitioner(5).build(weights, 2)
+        with pytest.raises(ValueError):
+            ReplicationManager(pmap, replication_factor=0)
+        with pytest.raises(ValueError):
+            ReplicationManager(pmap, hot_fraction=2.0)
