@@ -1,0 +1,38 @@
+# CI-style entry points.  The repo needs no build step; PYTHONPATH=src
+# stands in for an editable install (the offline image lacks `wheel`).
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test test-all bench bench-smoke
+
+# Tier-1 verification: everything except @pytest.mark.slow benchmarks.
+test:
+	$(PYTEST) -x -q
+
+# The full suite including slow-marked benchmark cases.
+test-all:
+	$(PYTEST) -x -q -o addopts="--durations=10"
+
+# All benchmarks, including slow ones, with their printed tables.
+bench:
+	$(PYTEST) -q -s benchmarks -o addopts=""
+
+# One quick benchmark per family as a smoke check (~30s): exercises every
+# benchmark fixture chain without the multi-second timing rounds.
+bench-smoke:
+	$(PYTEST) -q -x \
+		"benchmarks/test_bench_cartesian_vs_trig.py::test_bench_cone_dot_vs_haversine" \
+		"benchmarks/test_bench_container_pruning.py::test_bench_pruning_savings" \
+		"benchmarks/test_bench_distributed_servers.py::test_bench_query_locality" \
+		"benchmarks/test_bench_fig2_dataflow.py::test_bench_fig2_flow" \
+		"benchmarks/test_bench_fig3_subdivision.py::test_bench_fig3_point_location" \
+		"benchmarks/test_bench_fig4_rangequery.py::test_bench_fig4_query_correctness" \
+		"benchmarks/test_bench_hash_machine.py::test_bench_hash_vs_naive_scaling" \
+		"benchmarks/test_bench_loading.py::test_bench_load_touches" \
+		"benchmarks/test_bench_qet_streaming.py::test_bench_engine_throughput" \
+		"benchmarks/test_bench_river_sort.py::test_bench_river_commodity_rate_claim" \
+		"benchmarks/test_bench_sampling.py::test_bench_sample_preserves_statistics" \
+		"benchmarks/test_bench_scan_machine.py::test_bench_scan_cost_model" \
+		"benchmarks/test_bench_table1_products.py::test_bench_table1" \
+		"benchmarks/test_bench_tags_speedup.py::test_bench_tag_byte_ratio" \
+		"benchmarks/test_bench_typical_queries.py::test_bench_indexed_vs_scan"

@@ -17,6 +17,7 @@ from repro.geometry.shapes import circle_region, latitude_band
 from repro.storage.cluster import DistributedArchive
 
 
+@pytest.mark.slow
 def test_bench_parallel_scaling(benchmark, bench_photo):
     region = latitude_band(-90.0, 90.0)  # touches every server
     rows = []
@@ -65,6 +66,7 @@ def test_bench_query_locality(benchmark, bench_photo):
     assert rows[-1][1] >= rows[0][1]
 
 
+@pytest.mark.slow
 def test_bench_scale_out_movement(benchmark, bench_photo):
     def scale_out():
         archive = DistributedArchive.from_table(bench_photo, 5, 8)

@@ -79,6 +79,7 @@ def test_bench_hash_vs_naive_scaling(benchmark):
     assert savings[-1] > 100.0
 
 
+@pytest.mark.slow
 def test_bench_hash_agrees_with_naive(benchmark, bench_photo):
     candidates, _report = find_lens_candidates(
         bench_photo, color_tolerance=0.05, min_magnitude_difference=0.1
@@ -92,6 +93,7 @@ def test_bench_hash_agrees_with_naive(benchmark, bench_photo):
           f"{len(bench_photo)} objects: {len(naive)} pairs")
 
 
+@pytest.mark.slow
 def test_bench_hash_parallel_speedup(benchmark, bench_photo):
     predicate = PairPredicate(10.0, max_color_difference=0.05)
     machine = HashMachine(bucket_depth=7)

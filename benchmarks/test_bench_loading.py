@@ -64,6 +64,7 @@ def test_bench_load_touches(benchmark, bench_photo):
     assert total_savings > 2.0
 
 
+@pytest.mark.slow
 def test_bench_load_throughput(benchmark, bench_photo):
     chunks = nightly_chunks(bench_photo)
 
@@ -92,6 +93,7 @@ def test_bench_daily_20gb_ingest_model(benchmark):
     assert hours < 24.0
 
 
+@pytest.mark.slow
 def test_bench_clustered_vs_shuffled_chunks(benchmark, bench_photo):
     # Ablation: the paper's coherent chunks touch far fewer containers
     # per object than randomly shuffled arrivals of the same sizes.

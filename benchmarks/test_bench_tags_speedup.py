@@ -47,6 +47,7 @@ def test_bench_tag_byte_ratio(benchmark, bench_photo, bench_tags):
     assert full_seconds / tag_seconds > 10.0
 
 
+@pytest.mark.slow
 def test_bench_tag_query_wall_clock(benchmark, bench_engine):
     # Warm both paths once, then measure.
     tag_result = bench_engine.query_table(QUERY, allow_tag_route=True)

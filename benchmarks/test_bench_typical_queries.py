@@ -62,6 +62,7 @@ def test_bench_quasar_neighbor_query(benchmark, bench_simulator, bench_photo):
     assert seconds < 60.0
 
 
+@pytest.mark.slow
 def test_bench_lens_query(benchmark, bench_simulator, bench_photo):
     start = time.perf_counter()
 

@@ -20,6 +20,10 @@ Subpackages
 ``repro.query``
     The SQL-ish query language, Query Execution Trees, and the
     multi-threaded ASAP-push engine.
+``repro.distributed``
+    Scatter-gather execution of full queries across partition servers:
+    shard sub-plans, HTM-cover server pruning, and the coordinator
+    merge layer.
 ``repro.machines``
     The scan machine (data pump), hash machine (spatial hash-join), and
     river machine (dataflow graphs).
@@ -66,9 +70,10 @@ from repro.geometry import (
     vector_to_radec,
 )
 from repro.htm import RangeSet, cover_region, lookup_id, lookup_ids
+from repro.distributed import DistributedQueryEngine
 from repro.machines import HashMachine, RiverGraph, ScanMachine, ScanQuery
 from repro.query import QueryEngine, parse_query
-from repro.storage import ChunkLoader, ContainerStore, Partitioner
+from repro.storage import ChunkLoader, ContainerStore, DistributedArchive, Partitioner
 
 __version__ = "1.0.0"
 
@@ -99,6 +104,8 @@ __all__ = [
     "parse_query",
     "ChunkLoader",
     "ContainerStore",
+    "DistributedArchive",
+    "DistributedQueryEngine",
     "Partitioner",
     "__version__",
 ]

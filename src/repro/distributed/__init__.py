@@ -1,0 +1,23 @@
+"""Distributed query execution: scatter-gather over partition servers.
+
+The first end-to-end multi-layer path of the scaled archive: parser ->
+optimizer -> :func:`~repro.query.optimizer.split_plan` -> per-server
+shard QETs -> coordinator merge stream.  See
+:class:`DistributedQueryEngine` for the entry point and
+:mod:`repro.distributed.routing` for HTM-cover shard pruning.
+"""
+
+from repro.distributed.engine import DistributedQueryEngine, DistributedQueryResult
+from repro.distributed.routing import (
+    ShardFanoutReport,
+    admit_scan_jobs,
+    route_plan,
+)
+
+__all__ = [
+    "DistributedQueryEngine",
+    "DistributedQueryResult",
+    "ShardFanoutReport",
+    "admit_scan_jobs",
+    "route_plan",
+]

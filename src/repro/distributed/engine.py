@@ -1,0 +1,324 @@
+"""The distributed query executor: full QET queries, scatter-gather.
+
+*"The base-data objects will be spatially partitioned among the servers
+... Splitting the data among multiple servers enables parallel, scalable
+I/O"* — and the query system rides that split: every parsed query is
+planned once, the plan is divided by
+:func:`~repro.query.optimizer.split_plan` into a per-shard sub-plan
+(scan + filter + partial aggregation + sort/limit/projection pushdown)
+and a coordinator merge, and the sub-plan is *shipped* to each partition
+server whose HTM range intersects the plan's cover.  Every shard runs
+the paper's multi-threaded QET locally; the coordinator's merge nodes
+(:class:`~repro.query.qet.ExchangeNode`,
+:class:`~repro.query.qet.MergeSortNode`, re-aggregation) preserve the
+ASAP-push contract — the user sees the first batch while the slowest
+shard is still scanning.
+
+Nothing about the server set is cached between queries: each ``execute``
+reads the archive's current partition map and container placement, so
+execution stays correct across ``add_servers`` repartitioning.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.catalog.schema import Field as SchemaField
+from repro.catalog.schema import Schema
+from repro.catalog.table import ObjectTable
+from repro.distributed.routing import admit_scan_jobs, route_plan
+from repro.query.ast_nodes import Select, SetOp
+from repro.query.engine import QueryResult
+from repro.query.errors import PlanError
+from repro.query.optimizer import plan_query, shard_candidates, split_plan
+from repro.query.parser import parse_query
+from repro.query.qet import (
+    AggregateNode,
+    DifferenceNode,
+    ExchangeNode,
+    FilterNode,
+    IntersectNode,
+    LimitNode,
+    MergeSortNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+
+__all__ = ["DistributedQueryEngine", "DistributedQueryResult"]
+
+
+class DistributedQueryResult(QueryResult):
+    """Streaming result of a scatter-gather query.
+
+    Behaves exactly like :class:`~repro.query.engine.QueryResult`, plus
+    ``reports`` — one :class:`ShardFanoutReport` per SELECT in the query
+    (set operations contribute one per side).  Empty results materialize
+    as an empty, correctly-schemed table rather than ``None`` whenever
+    the output schema is statically known (e.g. every shard pruned).
+    """
+
+    def __init__(self, root, started_at, reports, empty_schema=None):
+        super().__init__(root, started_at, empty_schema=empty_schema)
+        self.reports = list(reports)
+
+    @property
+    def report(self):
+        """The sole fan-out report of a single-SELECT query."""
+        if len(self.reports) != 1:
+            raise ValueError(
+                f"query has {len(self.reports)} SELECTs; use .reports"
+            )
+        return self.reports[0]
+
+
+class DistributedQueryEngine:
+    """Query façade over a :class:`~repro.storage.cluster.DistributedArchive`.
+
+    Same surface as the single-store engine — ``execute`` /
+    ``query_table`` / ``explain`` on the same query language, with tag
+    routing and cost estimation — but each SELECT fans out to the
+    partition servers: shard sub-QETs run in parallel against each
+    touched server's container stores and a coordinator merge tree
+    recombines the streams (union, ordered k-way merge, or partial
+    aggregate re-combination).  Servers outside the plan's HTM cover are
+    pruned and never read.
+
+    Parameters
+    ----------
+    archive:
+        A :class:`DistributedArchive`; secondary sources (the tag table)
+        must have been attached with ``attach_source`` for tag routing.
+    density_maps:
+        Optional per-source :class:`DensityMap` for cost estimates.
+    scheduler:
+        Optional :class:`~repro.machines.scheduler.MachineScheduler`;
+        when given, every execute admits one interactive scan job per
+        touched server (machine ``scan:<server_id>``).
+    """
+
+    def __init__(self, archive, density_maps=None, scheduler=None, batch_rows=4096):
+        if not archive.servers:
+            raise ValueError("archive has no servers")
+        self.archive = archive
+        self.density_maps = dict(density_maps or {})
+        self.scheduler = scheduler
+        self.batch_rows = int(batch_rows)
+
+    @property
+    def schemas(self):
+        """Current source schemas (live view — repartition/attach safe)."""
+        return self.archive.source_schemas()
+
+    # ------------------------------------------------------------------
+    # planning and tree construction
+    # ------------------------------------------------------------------
+
+    def explain(self, text, allow_tag_route=True):
+        """Sharded plans for each SELECT, for inspection and tests."""
+        ast = parse_query(text)
+        sharded = []
+
+        def collect(node):
+            if isinstance(node, SetOp):
+                collect(node.left)
+                collect(node.right)
+            else:
+                plan = plan_query(
+                    node,
+                    self.schemas,
+                    density_maps=self.density_maps,
+                    allow_tag_route=allow_tag_route,
+                )
+                sharded.append(split_plan(plan))
+
+        collect(ast)
+        return sharded
+
+    def build_tree(self, ast, allow_tag_route=True, reports=None):
+        """Build (but do not start) the distributed QET for a parsed query.
+
+        Returns ``(root, empty_schema)``; fan-out reports are appended to
+        ``reports`` when a list is given.
+        """
+        if reports is None:
+            reports = []
+        if isinstance(ast, SetOp):
+            left, left_schema = self.build_tree(ast.left, allow_tag_route, reports)
+            right, _right_schema = self.build_tree(ast.right, allow_tag_route, reports)
+            if ast.op == "UNION":
+                return UnionNode(left, right), left_schema
+            if ast.op == "INTERSECT":
+                return IntersectNode(left, right), left_schema
+            if ast.op == "EXCEPT":
+                return DifferenceNode(left, right), left_schema
+            raise PlanError(f"unknown set operator {ast.op}")
+        if not isinstance(ast, Select):
+            raise PlanError(f"cannot execute {type(ast).__name__}")
+        return self._build_select(ast, allow_tag_route, reports)
+
+    def _build_select(self, select, allow_tag_route, reports):
+        plan = plan_query(
+            select,
+            self.schemas,
+            density_maps=self.density_maps,
+            allow_tag_route=allow_tag_route,
+        )
+        sharded = split_plan(plan)
+        coverage, candidates = shard_candidates(plan, self.archive.depth)
+        touched, report = route_plan(
+            self.archive, plan.routed_source, candidates
+        )
+        reports.append(report)
+
+        shard_roots = [
+            self._shard_tree(server.stores()[plan.routed_source], sharded, coverage)
+            for server in touched
+        ]
+        root = self._merge_tree(shard_roots, sharded)
+        return root, self._empty_schema_for(plan)
+
+    def _shard_tree(self, store, sharded, coverage):
+        """One server's sub-QET: the pushed-down half of the plan."""
+        shard = sharded.shard
+        node = ScanNode(
+            store, shard, batch_rows=self.batch_rows, coverage=coverage
+        )
+        if shard.is_aggregate:
+            return AggregateNode(
+                node, shard.group_specs, shard.aggregate_specs, shard.output_order
+            )
+        if shard.order_key_fns:
+            node = SortNode(node, shard.order_key_fns, shard.order_descending)
+        if shard.limit is not None:
+            node = LimitNode(node, shard.limit)
+        if shard.projection:
+            node = ProjectNode(node, shard.projection)
+        return node
+
+    def _merge_tree(self, shard_roots, sharded):
+        """The coordinator half: recombine shard streams per the spec."""
+        merge = sharded.merge
+        if merge.kind == "aggregate":
+            node = ExchangeNode(shard_roots)
+            node = AggregateNode(
+                node,
+                merge.group_specs,
+                merge.reaggregate_specs,
+                merge.reaggregate_order,
+            )
+            node = ProjectNode(node, merge.final_projection)
+            if merge.having_fn is not None:
+                node = FilterNode(node, merge.having_fn)
+            if merge.order_key_fns:
+                node = SortNode(node, merge.order_key_fns, merge.order_descending)
+            if merge.limit is not None:
+                node = LimitNode(node, merge.limit)
+            return node
+        if merge.kind == "ordered":
+            node = MergeSortNode(
+                shard_roots,
+                merge.order_key_fns,
+                merge.order_descending,
+                batch_rows=self.batch_rows,
+            )
+            if merge.limit is not None:
+                node = LimitNode(node, merge.limit)
+            if merge.projection:
+                node = ProjectNode(node, merge.projection)
+            return node
+        node = ExchangeNode(shard_roots)
+        if merge.limit is not None:
+            node = LimitNode(node, merge.limit)
+        return node
+
+    @staticmethod
+    def _aggregate_dtype(kind, base):
+        """Output dtype of one aggregate, matching AggregateNode's arrays.
+
+        The runtime node builds columns from the reduced scalars, so the
+        empty-result hint must reproduce numpy's reduction dtypes —
+        COUNT collects python ints (int64), SUM follows np.sum's
+        promotion, AVG follows np.mean, MIN/MAX keep the input dtype.
+        """
+        if kind == "COUNT":
+            return np.dtype(np.int64)
+        if kind == "SUM":
+            return np.sum(np.zeros(1, dtype=base)).dtype
+        if kind == "AVG":
+            return np.mean(np.zeros(1, dtype=base)).dtype
+        return np.dtype(base)
+
+    def _empty_schema_for(self, plan):
+        """Static output schema so empty results stay well-formed.
+
+        Derived by evaluating the plan's compiled expressions over a
+        zero-row table of the routed schema, so an empty result carries
+        the same dtypes a non-empty result of the same query would.
+        ``None`` when the shape cannot be known statically.
+        """
+        routed = self.schemas[plan.routed_source]
+        if not plan.is_aggregate and not plan.projection:
+            return routed
+        try:
+            empty = ObjectTable(routed)
+            if plan.is_aggregate:
+                dtypes = {}
+                for name, fn in plan.group_specs:
+                    if name is not None:
+                        dtypes[name] = np.asarray(fn(empty)).dtype
+                for name, kind, fn in plan.aggregate_specs:
+                    base = np.asarray(fn(empty)).dtype
+                    dtypes[name] = self._aggregate_dtype(kind, base)
+                return Schema(
+                    "aggregation",
+                    [SchemaField(n, dtypes[n].str) for n in plan.output_order],
+                )
+            fields = []
+            for name, _hint, fn in plan.projection:
+                array = np.asarray(fn(empty))
+                if array.shape == ():
+                    array = np.full(0, array)
+                fields.append(
+                    SchemaField(name, array.dtype.str, shape=array.shape[1:])
+                )
+            return Schema("projection", fields)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self, text, allow_tag_route=True):
+        """Parse, plan, split, fan out, and start a query.
+
+        Returns a :class:`DistributedQueryResult` streaming merged
+        batches; shard sub-trees for all touched servers run in parallel
+        threads, exactly like the single-store engine's QET.
+        """
+        ast = parse_query(text)
+        reports = []
+        root, empty_schema = self.build_tree(
+            ast, allow_tag_route=allow_tag_route, reports=reports
+        )
+        if self.scheduler is not None:
+            label = " ".join(text.split())[:40]
+            for report in reports:
+                admit_scan_jobs(self.scheduler, label, report)
+        started_at = time.perf_counter()
+        for node in reversed(list(root.walk())):
+            node.start()
+        return DistributedQueryResult(root, started_at, reports, empty_schema)
+
+    def query_table(self, text, allow_tag_route=True):
+        """Convenience: execute and materialize.
+
+        Unlike the single-store engine, a fully empty result returns an
+        *empty table with the right schema* whenever that schema is
+        statically known (``None`` otherwise).
+        """
+        return self.execute(text, allow_tag_route=allow_tag_route).table()

@@ -1,0 +1,124 @@
+"""Shard routing: which servers a query plan must touch, and at what cost.
+
+*"Splitting the data among multiple servers enables parallel, scalable
+I/O."*  A query's HTM cover is intersected with each server's contiguous
+id range (:class:`~repro.storage.partition.PartitionMap`); servers whose
+range misses the cover are *pruned* — their container stores are never
+read.  Pruning is conservative by the cover's contract (ambiguous
+geometry degrades to PARTIAL, never OUTSIDE), so a pruned server cannot
+hold a matching object.
+
+The same routing pass prices the fan-out: per-server bytes under the
+cover feed the :class:`~repro.storage.diskmodel.NodeModel` for simulated
+scan seconds ("a prediction of the output data volume and search time
+can be computed from the intersection volume"), and one interactive scan
+job per touched server can be admitted to a
+:class:`~repro.machines.scheduler.MachineScheduler` under the machine
+name ``scan:<server_id>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.scheduler import Job
+
+__all__ = ["ShardFanoutReport", "route_plan", "admit_scan_jobs"]
+
+
+@dataclass
+class ShardFanoutReport:
+    """Fan-out accounting for one SELECT of a distributed query."""
+
+    source: str
+    servers_total: int = 0
+    touched_server_ids: list = field(default_factory=list)
+    pruned_server_ids: list = field(default_factory=list)
+    #: bytes resident under the query's cover, per touched server
+    estimated_bytes_per_server: dict = field(default_factory=dict)
+    #: simulated scan seconds, per touched server
+    simulated_seconds_per_server: dict = field(default_factory=dict)
+    #: simulated seconds: slowest touched server (shared-nothing parallelism)
+    simulated_seconds: float = 0.0
+    #: simulated seconds a single server holding everything would need
+    simulated_seconds_single_server: float = 0.0
+
+    @property
+    def servers_touched(self):
+        return len(self.touched_server_ids)
+
+    def parallel_speedup(self):
+        """Single-server scan time over the parallel fan-out time."""
+        if self.simulated_seconds == 0:
+            return 1.0
+        return self.simulated_seconds_single_server / self.simulated_seconds
+
+
+def _store_bytes_under(store, candidates):
+    """Bytes of a store's containers whose ids fall in ``candidates``."""
+    if candidates is None:
+        return store.total_bytes()
+    return sum(
+        container.nbytes()
+        for htm_id, container in store.containers.items()
+        if candidates.contains(htm_id)
+    )
+
+
+def route_plan(archive, routed_source, candidates):
+    """Split the archive's servers into (touched, report) for one plan.
+
+    ``candidates`` is the cover's candidate :class:`RangeSet` at
+    container depth, or ``None`` for a full scan (all servers touched).
+    Pruned servers are recorded but never read.
+    """
+    report = ShardFanoutReport(
+        source=routed_source, servers_total=len(archive.servers)
+    )
+    if candidates is None:
+        touched_ids = {server.server_id for server in archive.servers}
+    else:
+        touched_ids = archive.partition_map.servers_for_rangeset(candidates)
+    touched = []
+    for server in archive.servers:
+        if server.server_id in touched_ids:
+            touched.append(server)
+            report.touched_server_ids.append(server.server_id)
+        else:
+            report.pruned_server_ids.append(server.server_id)
+
+    total_bytes = 0
+    for server in touched:
+        store = server.stores()[routed_source]
+        nbytes = _store_bytes_under(store, candidates)
+        seconds = server.node_model.scan_seconds(nbytes)
+        report.estimated_bytes_per_server[server.server_id] = nbytes
+        report.simulated_seconds_per_server[server.server_id] = seconds
+        total_bytes += nbytes
+    report.simulated_seconds = max(
+        report.simulated_seconds_per_server.values(), default=0.0
+    )
+    report.simulated_seconds_single_server = archive.node_model.scan_seconds(
+        total_bytes
+    )
+    return touched, report
+
+
+def admit_scan_jobs(scheduler, label, report, arrival_time=0.0):
+    """Admit one interactive scan job per touched server.
+
+    Per the paper's policy the scan machines are *interactively*
+    scheduled — every per-server job starts at its arrival time and
+    overlaps freely with other queries' sweeps.  Returns the scheduled
+    jobs (with times filled in by the scheduler).
+    """
+    jobs = [
+        Job(
+            name=f"{label}@server{server_id}",
+            machine=f"scan:{server_id}",
+            duration=report.simulated_seconds_per_server.get(server_id, 0.0),
+            arrival_time=arrival_time,
+        )
+        for server_id in report.touched_server_ids
+    ]
+    return scheduler.run(jobs)

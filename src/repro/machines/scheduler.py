@@ -8,6 +8,12 @@ machines will be batch scheduled."*
 that policy: scan jobs are admitted immediately (the scan machine
 piggybacks any number of concurrent predicates on its sweep), while hash
 and river jobs queue FIFO per machine and run exclusively.
+
+Scan machines exist per partition server: a distributed query admits one
+scan job per touched server under the machine name ``scan:<server_id>``
+(bare ``"scan"`` remains the single-store scan machine).  All scan
+machines share the interactive policy — jobs overlap freely — because
+the sweep piggybacks every concurrent predicate.
 """
 
 from __future__ import annotations
@@ -21,8 +27,9 @@ __all__ = ["Job", "MachineScheduler"]
 class Job:
     """One submitted job.
 
-    ``machine`` is 'scan', 'hash' or 'river'; ``duration`` is the job's
-    simulated run time (for scan jobs: one full sweep).
+    ``machine`` is 'scan', 'scan:<server_id>', 'hash' or 'river';
+    ``duration`` is the job's simulated run time (for scan jobs: one
+    full sweep).
     """
 
     name: str
@@ -47,6 +54,11 @@ class MachineScheduler:
     def __init__(self):
         self.completed = []
 
+    @staticmethod
+    def is_scan_machine(machine):
+        """True for the scan class: ``'scan'`` or a per-server ``'scan:<k>'``."""
+        return machine == "scan" or machine.startswith("scan:")
+
     def run(self, jobs):
         """Schedule all jobs; returns them with times filled in.
 
@@ -58,7 +70,7 @@ class MachineScheduler:
         machine_free_at = {machine: 0.0 for machine in self.BATCH_MACHINES}
 
         for job in jobs:
-            if job.machine == "scan":
+            if self.is_scan_machine(job.machine):
                 job.started_at = job.arrival_time
                 job.completed_at = job.started_at + job.duration
             elif job.machine in machine_free_at:

@@ -16,7 +16,14 @@ routing, cost estimates) -> :mod:`qet` (execution tree) -> :mod:`engine`
 from repro.query.errors import QueryError, ParseError, PlanError
 from repro.query.parser import parse_query
 from repro.query.engine import QueryEngine, QueryResult
-from repro.query.optimizer import QueryPlan, plan_query
+from repro.query.optimizer import (
+    MergeSpec,
+    QueryPlan,
+    ShardedPlan,
+    plan_query,
+    shard_candidates,
+    split_plan,
+)
 from repro.query.predicates import compile_predicate, extract_spatial_region
 
 __all__ = [
@@ -28,6 +35,10 @@ __all__ = [
     "QueryResult",
     "QueryPlan",
     "plan_query",
+    "MergeSpec",
+    "ShardedPlan",
+    "split_plan",
+    "shard_candidates",
     "compile_predicate",
     "extract_spatial_region",
 ]

@@ -42,12 +42,16 @@ class QueryResult:
     Iterate for batches; ``table()`` drains into one
     :class:`~repro.catalog.table.ObjectTable`.  ``time_to_first_row`` and
     ``time_to_completion`` (seconds) are populated as the stream is
-    consumed.
+    consumed.  ``empty_schema`` optionally names the output schema of a
+    query that produced no batches, so empty results can still be
+    well-formed tables (the distributed executor uses this for queries
+    whose every shard was pruned).
     """
 
-    def __init__(self, root, started_at):
+    def __init__(self, root, started_at, empty_schema=None):
         self._root = root
         self._started_at = started_at
+        self._empty_schema = empty_schema
         self.time_to_first_row = None
         self.time_to_completion = None
         self.rows = 0
@@ -63,9 +67,12 @@ class QueryResult:
 
     def table(self):
         """Materialize the full result (empty results need a schema hint
-        from the root's first batch; an empty bag returns ``None``)."""
+        from the root's first batch; an empty bag returns ``None`` unless
+        an ``empty_schema`` hint was supplied at construction)."""
         batches = list(self)
         if not batches:
+            if self._empty_schema is not None:
+                return ObjectTable(self._empty_schema)
             return None
         return ObjectTable.concat_all(batches)
 

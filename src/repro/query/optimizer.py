@@ -13,11 +13,22 @@ Decisions the paper describes:
 * **cost prediction** — "a prediction of the output data volume and search
   time can be computed from the intersection volume", via the
   :class:`~repro.htm.depthmap.DensityMap` when one is supplied.
+
+Distributed splitting ("Splitting the data among multiple servers enables
+parallel, scalable I/O"): :func:`split_plan` divides a single-store
+:class:`QueryPlan` into a per-shard sub-plan — scan + filter + partial
+aggregation + sort/limit/projection pushdown, executed unchanged on every
+partition server — and a :class:`MergeSpec` telling the coordinator how to
+recombine the shard streams; :func:`shard_candidates` turns the plan's
+region into the HTM :class:`~repro.htm.ranges.RangeSet` used to *prune*
+servers whose id ranges cannot hold a matching object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.catalog.schema import Field as SchemaField
 from repro.catalog.schema import Schema
@@ -30,7 +41,15 @@ from repro.query.predicates import (
     referenced_columns,
 )
 
-__all__ = ["QueryPlan", "plan_query", "AGGREGATE_FUNCTIONS"]
+__all__ = [
+    "QueryPlan",
+    "plan_query",
+    "AGGREGATE_FUNCTIONS",
+    "MergeSpec",
+    "ShardedPlan",
+    "split_plan",
+    "shard_candidates",
+]
 
 #: Aggregate function names recognized in select lists.
 AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
@@ -271,3 +290,192 @@ def plan_query(select, schemas, density_maps=None, allow_tag_route=True):
     if region is not None and density_maps and routed in density_maps:
         plan.estimate = density_maps[routed].estimate(region)
     return plan
+
+
+# ----------------------------------------------------------------------
+# distributed plan splitting
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MergeSpec:
+    """Coordinator-side recipe for recombining shard streams.
+
+    ``kind`` selects the merge strategy:
+
+    * ``'stream'`` — unordered union of shard batches (projection and
+      LIMIT were pushed down; the coordinator only re-applies the global
+      LIMIT);
+    * ``'ordered'`` — k-way merge of per-shard sorted streams on
+      ``order_key_fns``; the final projection runs after the merge
+      because sort keys reference source columns;
+    * ``'aggregate'`` — re-group the shards' partial aggregates
+      (``group_specs`` + ``reaggregate_specs``), rebuild the final
+      columns (``final_projection`` divides AVG's sum/count pair), then
+      apply HAVING / ORDER BY / LIMIT exactly as the single-store plan
+      would.
+    """
+
+    kind: str
+    limit: int | None = None
+    projection: list = field(default_factory=list)
+    order_key_fns: list = field(default_factory=list)
+    order_descending: list = field(default_factory=list)
+    group_specs: list = field(default_factory=list)
+    reaggregate_specs: list = field(default_factory=list)
+    reaggregate_order: list = field(default_factory=list)
+    final_projection: list = field(default_factory=list)
+    having_fn: object = None
+
+
+@dataclass
+class ShardedPlan:
+    """A :class:`QueryPlan` split for scatter-gather execution.
+
+    ``shard`` runs unchanged on every touched partition server; ``merge``
+    recombines the shard streams on the coordinator; ``base`` is the
+    original single-store plan (kept for routing, region, and reports).
+    """
+
+    base: QueryPlan
+    shard: QueryPlan
+    merge: MergeSpec
+
+
+def _column_getter(name):
+    def getter(table, _name=name):
+        return table[_name]
+
+    return getter
+
+
+def _avg_getter(name):
+    def getter(table, _name=name):
+        sums = np.asarray(table[f"{_name}__sum"])
+        counts = table[f"{_name}__count"]
+        # Match np.mean's output dtype: float32 input -> float32 mean
+        # (plain division would widen to float64 and change the schema),
+        # but integer input -> float64, never a truncating int cast.
+        if np.issubdtype(sums.dtype, np.floating):
+            return np.asarray(sums / counts, dtype=sums.dtype)
+        return sums / counts
+
+    return getter
+
+
+def _split_aggregate(plan):
+    """Partial aggregation: each shard groups and pre-reduces its own
+    rows; the coordinator re-reduces the partials.
+
+    COUNT re-combines by SUM, SUM/MIN/MAX by themselves, and AVG ships a
+    ``(sum, count)`` pair so the coordinator's division is weighted by
+    shard group sizes.  Grouping keys that are not select-list columns
+    still have to travel (two groups distinct only in a hidden key must
+    not collapse at the coordinator), so shards emit them under synthetic
+    ``__group<k>`` names that the final projection drops.
+    """
+    shard_groups = []
+    merge_groups = []
+    hidden = 0
+    for name, fn in plan.group_specs:
+        if name is None:
+            name = f"__group{hidden}"
+            hidden += 1
+            shard_groups.append((name, fn))
+            merge_groups.append((None, _column_getter(name)))
+        else:
+            shard_groups.append((name, fn))
+            merge_groups.append((name, _column_getter(name)))
+
+    shard_aggs = []
+    merge_aggs = []
+    final_fns = {}
+    for name, kind, fn in plan.aggregate_specs:
+        if kind == "AVG":
+            shard_aggs.append((f"{name}__sum", "SUM", fn))
+            shard_aggs.append((f"{name}__count", "COUNT", fn))
+            merge_aggs.append(
+                (f"{name}__sum", "SUM", _column_getter(f"{name}__sum"))
+            )
+            merge_aggs.append(
+                (f"{name}__count", "SUM", _column_getter(f"{name}__count"))
+            )
+            final_fns[name] = _avg_getter(name)
+        elif kind == "COUNT":
+            shard_aggs.append((name, "COUNT", fn))
+            merge_aggs.append((name, "SUM", _column_getter(name)))
+        else:  # SUM, MIN, MAX combine with themselves
+            shard_aggs.append((name, kind, fn))
+            merge_aggs.append((name, kind, _column_getter(name)))
+
+    shard = replace(
+        plan,
+        group_specs=shard_groups,
+        aggregate_specs=shard_aggs,
+        output_order=[n for n, _fn in shard_groups]
+        + [n for n, _k, _fn in shard_aggs],
+        having_fn=None,
+        order_key_fns=[],
+        order_descending=[],
+        limit=None,
+    )
+    merge = MergeSpec(
+        kind="aggregate",
+        limit=plan.limit,
+        group_specs=merge_groups,
+        reaggregate_specs=merge_aggs,
+        reaggregate_order=[n for n, _fn in merge_groups if n is not None]
+        + [n for n, _k, _fn in merge_aggs],
+        final_projection=[
+            (name, None, final_fns.get(name, _column_getter(name)))
+            for name in plan.output_order
+        ],
+        having_fn=plan.having_fn,
+        order_key_fns=plan.order_key_fns,
+        order_descending=plan.order_descending,
+    )
+    return ShardedPlan(base=plan, shard=shard, merge=merge)
+
+
+def split_plan(plan):
+    """Split a single-store :class:`QueryPlan` into shard + merge halves.
+
+    Everything that can run against one server's containers alone is
+    pushed down: the indexed scan, the WHERE filter, partial aggregation,
+    the per-shard sort, a copy of the LIMIT (each shard needs at most the
+    global top-k), and — when no reorder follows — the projection.  The
+    coordinator's :class:`MergeSpec` holds only the cross-shard work.
+    """
+    if plan.is_aggregate:
+        return _split_aggregate(plan)
+    if plan.order_key_fns:
+        shard = replace(plan, projection=[])
+        merge = MergeSpec(
+            kind="ordered",
+            limit=plan.limit,
+            projection=plan.projection,
+            order_key_fns=plan.order_key_fns,
+            order_descending=plan.order_descending,
+        )
+        return ShardedPlan(base=plan, shard=shard, merge=merge)
+    shard = replace(plan)
+    merge = MergeSpec(kind="stream", limit=plan.limit)
+    return ShardedPlan(base=plan, shard=shard, merge=merge)
+
+
+def shard_candidates(plan, depth):
+    """Coverage and candidate container ids for shard pruning.
+
+    Returns ``(coverage, rangeset)``; both are ``None`` when the plan has
+    no spatial region (every server must scan).  The rangeset is the
+    cover's inside+partial leaf ids at container depth — conservative by
+    the cover's contract, so intersecting it with each server's
+    :class:`~repro.storage.partition.PartitionMap` range never prunes a
+    server that could hold a matching object.
+    """
+    if plan.region is None:
+        return None, None
+    from repro.htm.cover import cover_region
+
+    coverage = cover_region(plan.region, depth)
+    return coverage, coverage.candidates()

@@ -42,6 +42,8 @@ __all__ = [
     "UnionNode",
     "IntersectNode",
     "DifferenceNode",
+    "ExchangeNode",
+    "MergeSortNode",
 ]
 
 _SENTINEL = object()
@@ -57,6 +59,7 @@ class Stream:
     def __init__(self, maxsize=8):
         self._queue = queue.Queue(maxsize=maxsize)
         self._cancelled = threading.Event()
+        self._finished = False
         self.error = None
 
     def cancel(self):
@@ -97,14 +100,22 @@ class Stream:
         self.push(_SENTINEL)
 
     def __iter__(self):
-        """Consumer side: yields batches until the sentinel."""
-        while True:
+        """Consumer side: yields batches until the sentinel.
+
+        A stream whose sentinel was already consumed ends immediately on
+        re-iteration instead of blocking forever on the empty queue (so
+        draining a result twice is a no-op, not a deadlock) — but a
+        *failed* stream keeps raising on every iteration, so an error
+        can never be mistaken for an empty result.
+        """
+        while not self._finished:
             batch = self._queue.get()
             if batch is _SENTINEL:
-                if self.error is not None:
-                    raise ExecutionError(str(self.error)) from self.error
-                return
+                self._finished = True
+                break
             yield batch
+        if self.error is not None:
+            raise ExecutionError(str(self.error)) from self.error
 
 
 @dataclass
@@ -189,11 +200,15 @@ class ScanNode(QETNode):
 
     name = "scan"
 
-    def __init__(self, store, plan, batch_rows=4096):
+    def __init__(self, store, plan, batch_rows=4096, coverage=None):
         super().__init__(())
         self.store = store
         self.plan = plan
         self.batch_rows = int(batch_rows)
+        #: optional precomputed Coverage at the store's depth; a
+        #: distributed executor computes the cover once and shares it
+        #: across every shard scan instead of re-covering per server.
+        self.coverage = coverage
 
     def run(self):
         predicate = self.plan.predicate
@@ -210,7 +225,9 @@ class ScanNode(QETNode):
     def _scan_with_index(self, region, predicate):
         from repro.htm.cover import cover_region
 
-        coverage = cover_region(region, self.store.depth)
+        coverage = self.coverage
+        if coverage is None:
+            coverage = cover_region(region, self.store.depth)
         for htm_id, container in self.store.containers.items():
             if self.output.cancelled():
                 return
@@ -286,7 +303,10 @@ class SortNode(QETNode):
 
     The child must complete before any row is emitted (exactly the
     paper's caveat about sort nodes).  ``key_fns`` are evaluated against
-    the drained table; later keys break ties of earlier ones.
+    the drained table; later keys break ties of earlier ones.  Both
+    directions are *stable*: rows equal on every key keep their input
+    order, and a DESC key reverses value groups, not the rows within
+    them — so ``ORDER BY a DESC, b`` still resolves ``a``-ties by ``b``.
     """
 
     name = "sort"
@@ -295,6 +315,19 @@ class SortNode(QETNode):
         super().__init__((child,))
         self.key_fns = list(key_fns)
         self.descending_flags = list(descending_flags)
+
+    @staticmethod
+    def _stable_order(keys, descending):
+        """Stable argsort in either direction.
+
+        Reversing a stable ascending argsort would reverse tie groups
+        too; instead descending sorts negate the dense ranks, which is
+        stable for any comparable dtype.
+        """
+        if not descending:
+            return np.argsort(keys, kind="stable")
+        _, ranks = np.unique(keys, return_inverse=True)
+        return np.argsort(-ranks, kind="stable")
 
     def run(self):
         child = self.children[0]
@@ -306,10 +339,7 @@ class SortNode(QETNode):
         # Stable sorts applied from the least-significant key backwards.
         for key_fn, descending in reversed(list(zip(self.key_fns, self.descending_flags))):
             keys = np.asarray(key_fn(table.take(order)))
-            sub_order = np.argsort(keys, kind="stable")
-            if descending:
-                sub_order = sub_order[::-1]
-            order = order[sub_order]
+            order = order[self._stable_order(keys, descending)]
         self._emit(table.take(order))
 
 
@@ -445,6 +475,55 @@ def _objids(batch):
     return np.asarray(batch["objid"], dtype=np.int64)
 
 
+def _gather_streams(children, maxsize=16):
+    """Drain several children concurrently into one merged Stream.
+
+    The gather point of every n-ary streaming node (union, exchange):
+    batches are forwarded the moment any child produces one.  A child
+    failure propagates — the first error fails the merged stream
+    immediately (fail-fast), so a consumer can never mistake a
+    partially-drained fan-out for a complete result.
+
+    Returns ``(merged, threads)``; iterate ``merged``, then join the
+    threads (or cancel everything via :func:`_cancel_gather`).
+    """
+    merged = Stream(maxsize=maxsize)
+    done = threading.Semaphore(0)
+
+    def drain(child):
+        try:
+            for batch in child.output:
+                if merged.cancelled():
+                    child.output.cancel()
+                    return
+                merged.push(batch)
+        except Exception as exc:
+            merged.fail(exc)
+        finally:
+            done.release()
+
+    threads = [
+        threading.Thread(target=drain, args=(c,), daemon=True) for c in children
+    ]
+    for t in threads:
+        t.start()
+
+    def close_when_drained():
+        for _ in children:
+            done.acquire()
+        merged.close()
+
+    closer = threading.Thread(target=close_when_drained, daemon=True)
+    closer.start()
+    return merged, threads
+
+
+def _cancel_gather(children, merged):
+    for child in children:
+        child.output.cancel()
+    merged.cancel()
+
+
 class UnionNode(QETNode):
     """Bag union with pointer dedup: streams both children concurrently.
 
@@ -460,44 +539,21 @@ class UnionNode(QETNode):
 
     def run(self):
         seen = set()
-        seen_lock = threading.Lock()
-        merged = Stream(maxsize=16)
-        done = threading.Semaphore(0)
-
-        def drain(child):
-            try:
-                for batch in child.output:
-                    if merged.cancelled():
-                        child.output.cancel()
-                        return
-                    merged.push(batch)
-            finally:
-                done.release()
-
-        threads = [
-            threading.Thread(target=drain, args=(c,), daemon=True) for c in self.children
-        ]
-        for t in threads:
-            t.start()
-
-        closer = threading.Thread(
-            target=lambda: (done.acquire(), done.acquire(), merged.close()), daemon=True
-        )
-        closer.start()
-
-        for batch in merged:
-            ids = _objids(batch)
-            with seen_lock:
+        merged, threads = _gather_streams(self.children)
+        try:
+            for batch in merged:
+                ids = _objids(batch)
                 fresh = np.fromiter(
                     (i not in seen for i in ids), count=ids.shape[0], dtype=bool
                 )
                 seen.update(ids[fresh].tolist())
-            if fresh.any():
-                if not self._emit(batch.select(fresh)):
-                    for child in self.children:
-                        child.output.cancel()
-                    merged.cancel()
-                    return
+                if fresh.any():
+                    if not self._emit(batch.select(fresh)):
+                        _cancel_gather(self.children, merged)
+                        return
+        except Exception:
+            _cancel_gather(self.children, merged)
+            raise
         for t in threads:
             t.join()
 
@@ -541,3 +597,187 @@ class DifferenceNode(_HashedRightNode):
 
     name = "difference"
     keep_if_present = False
+
+
+class ExchangeNode(QETNode):
+    """N-ary streaming gather of shard sub-trees (no dedup, no order).
+
+    The distributed executor's union point: each child is the root of one
+    partition server's sub-plan, drained concurrently; batches are
+    forwarded upward the moment any shard produces one, so
+    time-to-first-row is set by the *fastest* shard.  Zero children is a
+    well-formed empty stream (every shard pruned by the HTM cover).
+    """
+
+    name = "exchange"
+
+    def __init__(self, children):
+        super().__init__(tuple(children))
+
+    def run(self):
+        if not self.children:
+            return
+        merged, threads = _gather_streams(self.children)
+        try:
+            for batch in merged:
+                if not self._emit(batch):
+                    _cancel_gather(self.children, merged)
+                    return
+        except Exception:
+            _cancel_gather(self.children, merged)
+            raise
+        for t in threads:
+            t.join()
+
+
+class _MergeKey:
+    """One ORDER BY key value with its direction; defines ``<`` so tuples
+    of keys compare lexicographically, honoring per-key DESC."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value, descending):
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other):
+        if self.descending:
+            return other.value < self.value
+        return self.value < other.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+class MergeSortNode(QETNode):
+    """Ordered k-way merge of already-sorted child streams.
+
+    The distributed ORDER BY strategy: each shard sorts (and LIMIT-trims)
+    its own rows, and the coordinator merges the sorted streams without
+    re-sorting everything.  The merge is *batch-wise and vectorized*:
+    each round computes the smallest last-buffered key across children —
+    every buffered row at or below it can never be preceded by a future
+    row — and emits those rows in one stably-merged table.  Rows flow as
+    soon as the bound allows, so a downstream LIMIT cancels the merge
+    (and, transitively, the shard scans) early.  Tie order is
+    deterministic: within each emitted round, equal keys order by child
+    index then shard-local stable order (for single-batch-per-shard
+    producers like SortNode this is exactly lower-shard-first overall).
+    """
+
+    name = "merge_sort"
+
+    def __init__(self, children, key_fns, descending_flags, batch_rows=4096):
+        super().__init__(tuple(children))
+        self.key_fns = list(key_fns)
+        self.descending_flags = list(descending_flags)
+        self.batch_rows = int(batch_rows)
+        self._schema = None
+
+    def _keys_for(self, batch):
+        arrays = []
+        for fn in self.key_fns:
+            array = np.asarray(fn(batch))
+            if array.shape == ():
+                array = np.full(len(batch), array)
+            arrays.append(array)
+        return arrays
+
+    def _advance(self, iterator):
+        """Next non-empty batch of one child as ``(data, key_arrays)``."""
+        for batch in iterator:
+            if len(batch) == 0:
+                continue
+            if self._schema is None:
+                self._schema = batch.schema
+            return batch.data, self._keys_for(batch)
+        return None
+
+    def _bound_key(self, keys, index):
+        return tuple(
+            _MergeKey(array[index], descending)
+            for array, descending in zip(keys, self.descending_flags)
+        )
+
+    def _emittable_rows(self, keys, bound):
+        """How many leading rows sort at or before ``bound``.
+
+        Lexicographic <= computed per key, fully vectorized; because the
+        buffer is sorted by the same ordering, the mask is a prefix and
+        its popcount is the prefix length.
+        """
+        length = len(keys[0])
+        lt = np.zeros(length, dtype=bool)
+        eq = np.ones(length, dtype=bool)
+        for array, bound_key, descending in zip(
+            keys, bound, self.descending_flags
+        ):
+            value = bound_key.value
+            key_lt = (array > value) if descending else (array < value)
+            lt |= eq & key_lt
+            eq &= array == value
+        return int(np.count_nonzero(lt | eq))
+
+    def _emit_round(self, pieces, piece_keys):
+        """Stably merge this round's per-child prefixes and emit them.
+
+        Pieces arrive in ascending child order with within-child order
+        intact, so a sequence of stable key sorts (least-significant
+        first) yields exactly the documented tie behavior: shard index,
+        then shard-local stable order.  Large rounds are emitted in
+        ``batch_rows`` chunks to keep downstream backpressure fine-grained.
+        """
+        data = np.concatenate(pieces)
+        order = np.arange(len(data))
+        n_keys = len(self.key_fns)
+        for key_index in range(n_keys - 1, -1, -1):
+            keys = np.concatenate([pk[key_index] for pk in piece_keys])
+            order = order[
+                SortNode._stable_order(
+                    keys[order], self.descending_flags[key_index]
+                )
+            ]
+        table = ObjectTable(self._schema, data[order])
+        for piece in table.iter_chunks(self.batch_rows):
+            if not self._emit(piece.take(slice(None))):
+                return False
+        return True
+
+    def run(self):
+        cursors = []  # [iterator, data, key_arrays] per still-active child
+        for child in self.children:
+            iterator = iter(child.output)
+            head = self._advance(iterator)
+            if head is not None:
+                cursors.append([iterator, head[0], head[1]])
+
+        while cursors:
+            bound = min(
+                self._bound_key(keys, len(data) - 1)
+                for _it, data, keys in cursors
+            )
+            pieces = []
+            piece_keys = []
+            for cursor in cursors:
+                _iterator, data, keys = cursor
+                count = self._emittable_rows(keys, bound)
+                if count:
+                    pieces.append(data[:count])
+                    piece_keys.append([k[:count] for k in keys])
+                    cursor[1] = data[count:]
+                    cursor[2] = [k[count:] for k in keys]
+
+            refreshed = []
+            for cursor in cursors:
+                if len(cursor[1]) == 0:
+                    head = self._advance(cursor[0])
+                    if head is None:
+                        continue
+                    cursor[1], cursor[2] = head
+                refreshed.append(cursor)
+            cursors = refreshed
+
+            if pieces and not self._emit_round(pieces, piece_keys):
+                for child in self.children:
+                    child.output.cancel()
+                return

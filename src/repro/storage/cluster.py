@@ -13,6 +13,16 @@ cover — small queries touch one server, all-sky scans parallelize over
 all of them — and per-query simulated time is the *maximum* over touched
 servers (shared-nothing parallelism).  ``add_servers`` repartitions,
 physically moving containers and reporting the movement.
+
+Each server can host several co-partitioned *sources* (the primary
+catalog plus e.g. its tag table, attached with ``attach_source``), all
+sliced by the same :class:`PartitionMap` so a query routed to any source
+prunes servers identically.  The distributed executor
+(:class:`~repro.distributed.DistributedQueryEngine`) ships each query's
+shard sub-plan to every touched server by building scan trees directly
+over ``ServerNode.stores()``; :meth:`ServerNode.query_engine` additionally
+exposes one server's stores as a standalone single-store
+:class:`~repro.query.engine.QueryEngine` for local/ad-hoc use.
 """
 
 from __future__ import annotations
@@ -52,20 +62,49 @@ class DistributedQueryReport:
 
 
 class ServerNode:
-    """One commodity server: a container store plus an I/O model."""
+    """One commodity server: container stores plus an I/O model.
 
-    def __init__(self, server_id, schema, depth, node_model=PAPER_NODE):
+    ``store`` holds the primary source (named ``source``, conventionally
+    ``'photo'``); ``extra_stores`` holds co-partitioned secondary sources
+    such as the tag table.
+    """
+
+    def __init__(self, server_id, schema, depth, node_model=PAPER_NODE, source="photo"):
         self.server_id = int(server_id)
         self.store = ContainerStore(schema, depth)
         self.node_model = node_model
         self.queries_served = 0
+        self.source = source
+        self.extra_stores = {}
+
+    def stores(self):
+        """Mapping of source name -> :class:`ContainerStore` on this server."""
+        return {self.source: self.store, **self.extra_stores}
+
+    def attach_store(self, name, store):
+        """Host a secondary source's container store."""
+        if name == self.source:
+            raise ValueError(f"{name!r} is the primary source")
+        self.extra_stores[name] = store
+
+    def query_engine(self, density_maps=None):
+        """Standalone single-store query engine over this server's sources.
+
+        A convenience for local/ad-hoc querying of one server (the
+        distributed executor builds its shard scans directly on
+        ``stores()``).  Built fresh on every call so it always sees the
+        current container placement — safe across repartitions.
+        """
+        from repro.query.engine import QueryEngine
+
+        return QueryEngine(self.stores(), density_maps=density_maps)
 
     def total_objects(self):
-        """Objects resident on this server."""
+        """Objects of the primary source resident on this server."""
         return self.store.total_objects()
 
     def total_bytes(self):
-        """Bytes resident on this server."""
+        """Bytes of the primary source resident on this server."""
         return self.store.total_bytes()
 
     def query_region(self, region, extra_mask_fn=None):
@@ -85,24 +124,51 @@ class ServerNode:
 class DistributedArchive:
     """A partitioned, queryable archive over simulated commodity servers."""
 
-    def __init__(self, schema, depth, n_servers, node_model=PAPER_NODE):
+    def __init__(self, schema, depth, n_servers, node_model=PAPER_NODE, source="photo"):
         if n_servers < 1:
             raise ValueError("need at least one server")
         self.schema = schema
         self.depth = int(depth)
         self.node_model = node_model
+        self.source = source
+        self.extra_schemas = {}
         self.partitioner = Partitioner(self.depth)
         self.servers = [
-            ServerNode(k, schema, self.depth, node_model) for k in range(n_servers)
+            ServerNode(k, schema, self.depth, node_model, source=source)
+            for k in range(n_servers)
         ]
         self.partition_map = self.partitioner.build({}, n_servers)
 
     @classmethod
-    def from_table(cls, table, depth, n_servers, node_model=PAPER_NODE):
+    def from_table(cls, table, depth, n_servers, node_model=PAPER_NODE, source="photo"):
         """Cluster a catalog and distribute it across ``n_servers``."""
-        archive = cls(table.schema, depth, n_servers, node_model)
+        archive = cls(table.schema, depth, n_servers, node_model, source=source)
         archive.load(table)
         return archive
+
+    def source_schemas(self):
+        """Mapping of source name -> :class:`Schema` for every hosted source."""
+        return {self.source: self.schema, **self.extra_schemas}
+
+    def attach_source(self, name, table):
+        """Host a secondary catalog (e.g. the tag table), co-partitioned.
+
+        The table is clustered at the archive's depth and its containers
+        placed by the *current* partition map, so each server holds the
+        secondary rows of exactly its own sky area; later repartitions
+        move all sources together.
+        """
+        if name == self.source:
+            raise ValueError(f"{name!r} is the primary source")
+        if name in self.extra_schemas:
+            raise ValueError(f"source {name!r} is already attached")
+        staging = ContainerStore.from_table(table, self.depth)
+        self.extra_schemas[name] = table.schema
+        for server in self.servers:
+            server.attach_store(name, ContainerStore(table.schema, self.depth))
+        for htm_id, container in staging.containers.items():
+            owner = self.servers[self.partition_map.server_for(htm_id)]
+            owner.extra_stores[name].get_or_create(htm_id).append(container.table)
 
     # ------------------------------------------------------------------
     # loading and rebalancing
@@ -134,16 +200,21 @@ class DistributedArchive:
         return weights
 
     def _replace_misplaced(self):
-        """Move containers whose partition-map owner changed; count moves."""
+        """Move containers whose partition-map owner changed; count moves.
+
+        Every hosted source moves together, so a repartition can never
+        separate a sky area's primary rows from its secondary (tag) rows.
+        """
         moved_objects = 0
         for server in self.servers:
-            for htm_id in list(server.store.containers):
-                target = self.partition_map.server_for(htm_id)
-                if target != server.server_id:
-                    container = server.store.containers.pop(htm_id)
-                    destination = self.servers[target]
-                    destination.store.get_or_create(htm_id).append(container.table)
-                    moved_objects += len(container)
+            for source_name, store in server.stores().items():
+                for htm_id in list(store.containers):
+                    target = self.partition_map.server_for(htm_id)
+                    if target != server.server_id:
+                        container = store.containers.pop(htm_id)
+                        destination = self.servers[target].stores()[source_name]
+                        destination.get_or_create(htm_id).append(container.table)
+                        moved_objects += len(container)
         return moved_objects
 
     def add_servers(self, count):
@@ -154,9 +225,13 @@ class DistributedArchive:
         if count < 1:
             raise ValueError("must add at least one server")
         for k in range(count):
-            self.servers.append(
-                ServerNode(len(self.servers), self.schema, self.depth, self.node_model)
+            server = ServerNode(
+                len(self.servers), self.schema, self.depth, self.node_model,
+                source=self.source,
             )
+            for name, schema in self.extra_schemas.items():
+                server.attach_store(name, ContainerStore(schema, self.depth))
+            self.servers.append(server)
         self.partition_map = self.partitioner.build(
             self._combined_weights(), len(self.servers)
         )

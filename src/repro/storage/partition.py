@@ -9,6 +9,12 @@ interval), partitioning by *contiguous id ranges balanced by object count*
 keeps each server responsible for a compact sky area — queries touching a
 small region hit few servers, while all-sky scans parallelize across all
 of them.
+
+The same contiguous ranges drive *shard pruning* in the distributed
+query executor: a plan's HTM cover (a :class:`~repro.htm.ranges.RangeSet`
+of candidate container ids) is intersected with ``ranges_for`` each
+server, and servers with an empty intersection are skipped entirely —
+see :mod:`repro.distributed.routing`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,82 @@
+"""Per-server scan admission: distributed queries and the machine scheduler.
+
+The paper's policy — "the scan machine will be interactively scheduled"
+— extends to the fleet: each partition server is its own scan machine
+(``scan:<server_id>``), every distributed query admits one scan job per
+*touched* server, and scan jobs overlap freely while hash/river batch
+jobs still serialize.
+"""
+
+import pytest
+
+from repro.distributed import DistributedQueryEngine
+from repro.machines.scheduler import Job, MachineScheduler
+
+
+class TestScanMachineNaming:
+    def test_per_server_names_are_scan_class(self):
+        assert MachineScheduler.is_scan_machine("scan")
+        assert MachineScheduler.is_scan_machine("scan:0")
+        assert MachineScheduler.is_scan_machine("scan:17")
+        assert not MachineScheduler.is_scan_machine("hash")
+        assert not MachineScheduler.is_scan_machine("river")
+
+    def test_per_server_scan_jobs_overlap(self):
+        scheduler = MachineScheduler()
+        jobs = scheduler.run(
+            [
+                Job("q1", "scan:0", duration=10.0, arrival_time=0.0),
+                Job("q2", "scan:0", duration=10.0, arrival_time=1.0),
+            ]
+        )
+        # Interactive admission: the second job does not wait for the first.
+        assert jobs[1].started_at == 1.0
+
+    def test_batch_machines_still_serialize(self):
+        scheduler = MachineScheduler()
+        jobs = scheduler.run(
+            [
+                Job("h1", "hash", duration=10.0, arrival_time=0.0),
+                Job("h2", "hash", duration=10.0, arrival_time=1.0),
+            ]
+        )
+        assert jobs[1].started_at == 10.0
+
+
+class TestDistributedAdmission:
+    @pytest.fixture()
+    def scheduled_engine(self, archives):
+        scheduler = MachineScheduler()
+        return DistributedQueryEngine(archives[5], scheduler=scheduler), scheduler
+
+    def test_one_job_per_touched_server(self, scheduled_engine):
+        engine, scheduler = scheduled_engine
+        result = engine.execute("SELECT objid FROM photo WHERE CIRCLE(40, 30, 2)")
+        result.table()
+        report = result.report
+        machines = sorted(job.machine for job in scheduler.completed)
+        assert machines == sorted(
+            f"scan:{server_id}" for server_id in report.touched_server_ids
+        )
+        for job in scheduler.completed:
+            assert job.completed_at is not None
+
+    def test_full_scan_admits_every_server(self, scheduled_engine):
+        engine, scheduler = scheduled_engine
+        engine.execute("SELECT objid FROM photo").table()
+        assert len(scheduler.completed) == len(engine.archive.servers)
+
+    def test_durations_follow_resident_bytes(self, scheduled_engine):
+        engine, scheduler = scheduled_engine
+        result = engine.execute("SELECT objid FROM photo")
+        result.table()
+        report = result.report
+        for job in scheduler.completed:
+            server_id = int(job.machine.split(":", 1)[1])
+            expected = report.simulated_seconds_per_server[server_id]
+            assert job.duration == expected
+        assert report.simulated_seconds == max(
+            job.duration for job in scheduler.completed
+        )
+        # Shared-nothing parallelism: the fan-out beats one big server.
+        assert report.parallel_speedup() > 1.0
