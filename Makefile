@@ -3,11 +3,16 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-all bench bench-smoke
+.PHONY: test test-all bench bench-smoke check
 
 # Tier-1 verification: everything except @pytest.mark.slow benchmarks.
 test:
 	$(PYTEST) -x -q
+
+# CI gate: tier-1 tests plus a full-source compile sweep.
+check:
+	$(PYTEST) -x -q
+	PYTHONPATH=src python -m compileall -q src
 
 # The full suite including slow-marked benchmark cases.
 test-all:
@@ -18,8 +23,11 @@ bench:
 	$(PYTEST) -q -s benchmarks -o addopts=""
 
 # One quick benchmark per family as a smoke check (~30s): exercises every
-# benchmark fixture chain without the multi-second timing rounds.
+# benchmark fixture chain without the multi-second timing rounds, then
+# records the session-API perf artifact (time-to-first-row / completion
+# for a fixed corpus over both backends) so the trajectory is on disk.
 bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_session.py --out BENCH_session.json
 	$(PYTEST) -q -x \
 		"benchmarks/test_bench_cartesian_vs_trig.py::test_bench_cone_dot_vs_haversine" \
 		"benchmarks/test_bench_container_pruning.py::test_bench_pruning_savings" \

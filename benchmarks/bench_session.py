@@ -1,0 +1,106 @@
+"""Session benchmark artifact: the archive's perf trajectory on disk.
+
+Runs a fixed query corpus through the session API over both backends
+(single-store and a 3-server distributed partitioning of the same
+catalog) and writes time-to-first-row / time-to-completion per query to
+a JSON artifact, so successive PRs can compare the numbers instead of
+guessing.
+
+Run:  PYTHONPATH=src python benchmarks/bench_session.py [--out BENCH_session.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro import Archive, ContainerStore, SkySimulator, SurveyParameters
+from repro.catalog import make_tag_table
+from repro.storage import DistributedArchive
+
+#: Fixed corpus: one query per plan shape the session must serve well.
+CORPUS = [
+    ("full_scan_stream", "SELECT objid FROM photo"),
+    ("tag_routed_filter", "SELECT objid, mag_r FROM photo WHERE mag_r < 19"),
+    ("spatial_cone", "SELECT objid FROM photo WHERE CIRCLE(40, 30, 5)"),
+    (
+        "order_limit_topk",
+        "SELECT objid, mag_r FROM photo ORDER BY mag_r, objid LIMIT 50",
+    ),
+    (
+        "grouped_aggregate",
+        "SELECT objtype, AVG(mag_r) AS m, COUNT(objid) AS n FROM photo "
+        "GROUP BY objtype",
+    ),
+    (
+        "set_operation",
+        "(SELECT objid FROM photo WHERE mag_r < 18) INTERSECT "
+        "(SELECT objid FROM photo WHERE mag_g < 19)",
+    ),
+]
+
+N_SERVERS = 3
+CATALOG = SurveyParameters(
+    n_galaxies=30000, n_stars=18000, n_quasars=900, seed=20020101
+)
+
+
+def _bench_session(session):
+    queries = {}
+    for name, text in CORPUS:
+        cursor = session.execute(text)
+        table = cursor.to_table()
+        queries[name] = {
+            "rows": int(len(table)),
+            "time_to_first_row_ms": (
+                None
+                if cursor.time_to_first_row is None
+                else round(cursor.time_to_first_row * 1e3, 3)
+            ),
+            "time_to_completion_ms": round(cursor.time_to_completion * 1e3, 3),
+        }
+    return queries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_session.json")
+    args = parser.parse_args()
+
+    photo = SkySimulator(CATALOG).generate()
+    tags = make_tag_table(photo)
+
+    local = Archive.connect(stores={
+        "photo": ContainerStore.from_table(photo, depth=6),
+        "tag": ContainerStore.from_table(tags, depth=6),
+    })
+    archive = DistributedArchive.from_table(photo, depth=6, n_servers=N_SERVERS)
+    archive.attach_source("tag", tags)
+    distributed = Archive.connect(archive=archive)
+
+    started = time.perf_counter()
+    payload = {
+        "benchmark": "session_api",
+        "catalog_rows": int(len(photo)),
+        "n_servers": N_SERVERS,
+        "python": platform.python_version(),
+        "backends": {
+            "local": _bench_session(local),
+            "distributed": _bench_session(distributed),
+        },
+    }
+    payload["wall_seconds"] = round(time.perf_counter() - started, 3)
+    local.close()
+    distributed.close()
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(CORPUS)} queries x 2 backends, "
+          f"{payload['wall_seconds']} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,14 @@ Run:  python examples/archive_pipeline.py
 
 import numpy as np
 
-from repro import ChunkLoader, ContainerStore, Partitioner, SkySimulator, SurveyParameters
+from repro import (
+    Archive,
+    ChunkLoader,
+    ContainerStore,
+    Partitioner,
+    SkySimulator,
+    SurveyParameters,
+)
 from repro.archive import Calibration, DataFlowSimulator, OperationalArchive, ProductModel
 from repro.catalog.schema import PHOTO_SCHEMA
 from repro.interchange import read_binary_packets, stream_binary_packets
@@ -47,6 +54,17 @@ def main():
     print(f"loaded {loader.total_objects_loaded()} objects touching {touches} "
           f"containers (naive per-object insertion: {naive} touches, "
           f"{naive / touches:.0f}x more)")
+
+    # --- The loaded archive is immediately queryable ---------------------
+    # Connect a session over the freshly loaded store: the same query
+    # agent that fronts a distributed archive fronts this one.
+    with Archive.connect(stores={"photo": store}) as session:
+        brightest = session.query_table(
+            "SELECT objid, mag_r FROM photo ORDER BY mag_r LIMIT 3"
+        )
+        print("session over the loaded archive; 3 brightest objects: "
+              + ", ".join(f"{int(r['objid'])} (r={float(r['mag_r']):.2f})"
+                          for r in brightest.data))
 
     # --- Partition containers across commodity servers ------------------
     weights = {cid: len(c) for cid, c in store.containers.items()}

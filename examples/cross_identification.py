@@ -12,7 +12,7 @@ Run:  python examples/cross_identification.py
 
 import numpy as np
 
-from repro import SkySimulator, SurveyParameters
+from repro import Archive, ContainerStore, SkySimulator, SurveyParameters
 from repro.science import crossmatch, detect_variables, light_curve_statistics
 
 
@@ -60,10 +60,13 @@ def main():
           f"(precision {precision:.2f}, "
           f"recall {len(true_positives) / len(truth_v):.2f} overall)")
 
-    bright_truth = {
-        int(o) for o, m in zip(photo["objid"], photo["mag_r"])
-        if int(o) in truth_v and float(m) < 19.5
-    }
+    # The bright reference subset comes from the archive session — the
+    # same query agent any external survey team would use.
+    with Archive.connect(
+        stores={"photo": ContainerStore.from_table(photo, depth=6)}
+    ) as session:
+        bright = session.query_table("SELECT objid FROM photo WHERE mag_r < 19.5")
+    bright_truth = truth_v & {int(o) for o in bright["objid"]}
     bright_found = bright_truth & found_v
     print(f"bright (r < 19.5) variables: {len(bright_found)}/{len(bright_truth)} "
           "recovered — faint ones drown in photometric noise, as expected")

@@ -12,7 +12,7 @@ Run:  python examples/desktop_analysis.py
 
 import time
 
-from repro import ContainerStore, QueryEngine, SkySimulator, SurveyParameters
+from repro import Archive, ContainerStore, SkySimulator, SurveyParameters
 from repro.catalog import make_tag_table
 from repro.catalog.sampling import desktop_subset, sample_fraction, stratified_sample
 from repro.catalog.tags import tag_size_ratio
@@ -44,24 +44,27 @@ def main():
         n_quasars = int((sample["objtype"] == 3).sum())
         print(f"  {name:>10} 1% sample: {len(sample)} rows, {n_quasars} quasars")
 
-    # Tag-table speedup on a popular-attribute query.
-    engine = QueryEngine({
+    # Tag-table speedup on a popular-attribute query, through the
+    # archive session (the plan tree shows the routing decision).
+    session = Archive.connect(stores={
         "photo": ContainerStore.from_table(photo, depth=6),
         "tag": ContainerStore.from_table(tags, depth=6),
     })
     query = ("SELECT objid, mag_r FROM photo "
              "WHERE mag_r < 18 AND mag_g - mag_r > 0.7")
+    print("\nplan (tag-routed):")
+    print(session.explain(query).render(indent=1))
 
     started = time.perf_counter()
-    tag_result = engine.query_table(query, allow_tag_route=True)
+    tag_result = session.query_table(query, allow_tag_route=True)
     tag_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    full_result = engine.query_table(query, allow_tag_route=False)
+    full_result = session.query_table(query, allow_tag_route=False)
     full_seconds = time.perf_counter() - started
 
-    rows_tag = 0 if tag_result is None else len(tag_result)
-    rows_full = 0 if full_result is None else len(full_result)
+    rows_tag = len(tag_result)
+    rows_full = len(full_result)
     print(f"\npopular-attribute query ({rows_tag} rows, both routes agree: "
           f"{rows_tag == rows_full}):")
     print(f"  via tag table:  {tag_seconds * 1e3:7.1f} ms")
@@ -69,6 +72,7 @@ def main():
     print(f"  bytes that must be read: tag {tags.nbytes() / 1e6:.1f} MB vs "
           f"full {photo.nbytes() / 1e6:.1f} MB "
           f"({photo.nbytes() / tags.nbytes():.1f}x)")
+    session.close()
 
 
 if __name__ == "__main__":

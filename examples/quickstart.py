@@ -1,13 +1,14 @@
 """Quickstart: generate a synthetic sky, index it, and query it.
 
-Walks the core loop of the archive: simulate a survey, cluster it into
-HTM-keyed containers, and run indexed queries through the multi-threaded
-query engine — including the paper's finding-chart service.
+Walks the core loop of the archive through the *session API* — the
+paper's query agent: connect to the archive, inspect a plan, run
+interactive queries that stream ASAP, queue a batch job, and render a
+finding chart.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ContainerStore, QueryEngine, SkySimulator, SurveyParameters
+from repro import Archive, ContainerStore, SkySimulator, SurveyParameters
 from repro.catalog import make_tag_table
 from repro.science import make_finding_chart
 
@@ -22,43 +23,57 @@ def main():
           f"({photo.nbytes() / 1e6:.1f} MB of full records)")
 
     # 2. Cluster into containers keyed by HTM trixels (depth 6 ~ 0.9 deg
-    #    scale) and build the tag-object vertical partition.
-    photo_store = ContainerStore.from_table(photo, depth=6)
-    tag_store = ContainerStore.from_table(make_tag_table(photo), depth=6)
-    print(f"clustered into {len(photo_store)} containers")
-
-    engine = QueryEngine({"photo": photo_store, "tag": tag_store})
+    #    scale), build the tag-object vertical partition, and connect a
+    #    session over the stores (a single-store engine is built for us;
+    #    pass a DistributedArchive instead and nothing below changes).
+    session = Archive.connect(stores={
+        "photo": ContainerStore.from_table(photo, depth=6),
+        "tag": ContainerStore.from_table(make_tag_table(photo), depth=6),
+    })
 
     # 3. A cone search with attribute predicates.  The optimizer extracts
     #    the CIRCLE into an HTM cover and routes the query to the tag
-    #    table because only popular attributes are touched.
+    #    table because only popular attributes are touched — visible in
+    #    the structured plan tree.
     query = (
         "SELECT objid, mag_r, mag_g - mag_r AS gr "
         "FROM photo "
         "WHERE CIRCLE(180.0, 30.0, 3.0) AND mag_r < 21.5 "
         "ORDER BY mag_r LIMIT 10"
     )
-    plan = engine.explain(query)[0]
-    print(f"\nplan: routed to {plan.routed_source!r} "
-          f"(tag route: {plan.used_tag_route}, spatial index: {plan.used_spatial_index})")
-    result = engine.query_table(query)
-    if result is None:
-        print("no objects matched (random sky is sparse here)")
-    else:
-        print(f"{'objid':>8} {'r':>7} {'g-r':>6}")
-        for row in result.data:
-            print(f"{int(row['objid']):>8} {float(row['mag_r']):>7.2f} "
-                  f"{float(row['gr']):>6.2f}")
+    print("\nplan:")
+    print(session.explain(query).render(indent=1))
+    result = session.query_table(query)
+    # Empty results are well-formed empty tables — no None checks needed.
+    print(f"\n{len(result)} objects matched:")
+    print(f"{'objid':>8} {'r':>7} {'g-r':>6}")
+    for row in result.data:
+        print(f"{int(row['objid']):>8} {float(row['mag_r']):>7.2f} "
+              f"{float(row['gr']):>6.2f}")
 
     # 4. Streaming: the ASAP push means the first row arrives long before
-    #    the query completes.
-    streaming = engine.execute("SELECT objid FROM photo WHERE mag_r < 22")
-    total = sum(len(batch) for batch in streaming)
-    print(f"\nstreamed {total} rows: first row after "
-          f"{streaming.time_to_first_row * 1e3:.1f} ms, "
-          f"complete after {streaming.time_to_completion * 1e3:.1f} ms")
+    #    the query completes; fetchmany paginates the same cursor.
+    cursor = session.execute("SELECT objid FROM photo WHERE mag_r < 22")
+    page = cursor.fetchmany(1000)
+    rest = cursor.to_table()
+    print(f"\nstreamed {len(page)} + {len(rest)} rows: first row after "
+          f"{cursor.time_to_first_row * 1e3:.1f} ms, "
+          f"complete after {cursor.time_to_completion * 1e3:.1f} ms")
 
-    # 5. A finding chart around the brightest object.
+    # 5. Batch work queues FIFO behind other batch jobs on the machine
+    #    scheduler, keeping interactive queries at paper-mandated
+    #    priority; results are delivered on completion.
+    job = session.submit(
+        "SELECT objtype, COUNT(objid) AS n FROM photo GROUP BY objtype",
+        query_class="batch",
+    )
+    final = job.wait(timeout=30)
+    print(f"\nbatch job {job.job_id}: queued -> {final.value}")
+    assert final.value == "done", f"batch job did not finish: {final.value}"
+    for row in job.cursor.to_table().data:
+        print(f"  objtype {int(row['objtype'])}: {int(row['n'])} objects")
+
+    # 6. A finding chart around the brightest object.
     brightest = photo.sort_by("mag_r").data[0]
     chart = make_finding_chart(
         photo, float(brightest["ra"]), float(brightest["dec"]),
@@ -67,6 +82,8 @@ def main():
     print(f"\nfinding chart at ra={chart.center_ra:.3f}, dec={chart.center_dec:.3f} "
           f"({chart.object_count()} objects):")
     print(chart.grid)
+
+    session.close()
 
 
 if __name__ == "__main__":

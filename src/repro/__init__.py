@@ -24,6 +24,14 @@ Subpackages
     Scatter-gather execution of full queries across partition servers:
     shard sub-plans, HTM-cover server pruning, and the coordinator
     merge layer.
+``repro.session``
+    The unified archive session API — the paper's query agent.
+    ``Archive.connect(...)`` wraps any backend (single-store engine,
+    distributed engine, raw archive, or store mapping) behind one
+    ``Session`` / ``Job`` / ``Cursor`` surface: interactive vs. batch
+    query classes, job states with cancellation and progress counters,
+    streaming cursors with pagination, and structured ``explain`` plan
+    trees that render identically for local and distributed execution.
 ``repro.machines``
     The scan machine (data pump), hash machine (spatial hash-join), and
     river machine (dataflow graphs).
@@ -38,17 +46,20 @@ Subpackages
 
 Quick start
 -----------
->>> from repro import SkySimulator, SurveyParameters, ContainerStore, QueryEngine
+>>> from repro import Archive, SkySimulator, SurveyParameters, ContainerStore
 >>> from repro.catalog import make_tag_table
 >>> sim = SkySimulator(SurveyParameters(n_galaxies=10000))
 >>> photo = sim.generate()
->>> engine = QueryEngine({
+>>> session = Archive.connect(stores={
 ...     "photo": ContainerStore.from_table(photo, depth=6),
 ...     "tag": ContainerStore.from_table(make_tag_table(photo), depth=6),
 ... })
->>> result = engine.query_table(
+>>> result = session.query_table(
 ...     "SELECT objid, mag_r FROM photo "
 ...     "WHERE CIRCLE(185.0, 30.0, 2.0) AND mag_r < 21 ORDER BY mag_r")
+
+(See ``repro.session`` for the full session API — job lifecycle, batch
+queueing, streaming cursors, structured explain.)
 """
 
 from repro.catalog import (
@@ -73,6 +84,7 @@ from repro.htm import RangeSet, cover_region, lookup_id, lookup_ids
 from repro.distributed import DistributedQueryEngine
 from repro.machines import HashMachine, RiverGraph, ScanMachine, ScanQuery
 from repro.query import QueryEngine, parse_query
+from repro.session import Archive, Cursor, Job, JobState, Session
 from repro.storage import ChunkLoader, ContainerStore, DistributedArchive, Partitioner
 
 __version__ = "1.0.0"
@@ -102,6 +114,11 @@ __all__ = [
     "ScanQuery",
     "QueryEngine",
     "parse_query",
+    "Archive",
+    "Session",
+    "Job",
+    "JobState",
+    "Cursor",
     "ChunkLoader",
     "ContainerStore",
     "DistributedArchive",

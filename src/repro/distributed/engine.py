@@ -21,18 +21,16 @@ execution stays correct across ``add_servers`` repartitioning.
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.catalog.schema import Field as SchemaField
-from repro.catalog.schema import Schema
-from repro.catalog.table import ObjectTable
 from repro.distributed.routing import admit_scan_jobs, route_plan
 from repro.query.ast_nodes import Select, SetOp
-from repro.query.engine import QueryResult
+from repro.query.engine import QueryResult, start_tree
 from repro.query.errors import PlanError
-from repro.query.optimizer import plan_query, shard_candidates, split_plan
+from repro.query.optimizer import (
+    output_schema_for,
+    plan_query,
+    shard_candidates,
+    split_plan,
+)
 from repro.query.parser import parse_query
 from repro.query.qet import (
     AggregateNode,
@@ -174,12 +172,18 @@ class DistributedQueryEngine:
         )
         reports.append(report)
 
-        shard_roots = [
-            self._shard_tree(server.stores()[plan.routed_source], sharded, coverage)
-            for server in touched
-        ]
+        shard_roots = []
+        for server in touched:
+            shard_root = self._shard_tree(
+                server.stores()[plan.routed_source], sharded, coverage
+            )
+            # Annotation consumed by the session layer's structured
+            # explain: which server this sub-tree runs on.
+            shard_root.server_id = server.server_id
+            shard_roots.append(shard_root)
         root = self._merge_tree(shard_roots, sharded)
-        return root, self._empty_schema_for(plan)
+        root.fanout_report = report
+        return root, output_schema_for(plan, self.schemas)
 
     def _shard_tree(self, store, sharded, coverage):
         """One server's sub-QET: the pushed-down half of the plan."""
@@ -235,63 +239,24 @@ class DistributedQueryEngine:
             node = LimitNode(node, merge.limit)
         return node
 
-    @staticmethod
-    def _aggregate_dtype(kind, base):
-        """Output dtype of one aggregate, matching AggregateNode's arrays.
-
-        The runtime node builds columns from the reduced scalars, so the
-        empty-result hint must reproduce numpy's reduction dtypes —
-        COUNT collects python ints (int64), SUM follows np.sum's
-        promotion, AVG follows np.mean, MIN/MAX keep the input dtype.
-        """
-        if kind == "COUNT":
-            return np.dtype(np.int64)
-        if kind == "SUM":
-            return np.sum(np.zeros(1, dtype=base)).dtype
-        if kind == "AVG":
-            return np.mean(np.zeros(1, dtype=base)).dtype
-        return np.dtype(base)
-
-    def _empty_schema_for(self, plan):
-        """Static output schema so empty results stay well-formed.
-
-        Derived by evaluating the plan's compiled expressions over a
-        zero-row table of the routed schema, so an empty result carries
-        the same dtypes a non-empty result of the same query would.
-        ``None`` when the shape cannot be known statically.
-        """
-        routed = self.schemas[plan.routed_source]
-        if not plan.is_aggregate and not plan.projection:
-            return routed
-        try:
-            empty = ObjectTable(routed)
-            if plan.is_aggregate:
-                dtypes = {}
-                for name, fn in plan.group_specs:
-                    if name is not None:
-                        dtypes[name] = np.asarray(fn(empty)).dtype
-                for name, kind, fn in plan.aggregate_specs:
-                    base = np.asarray(fn(empty)).dtype
-                    dtypes[name] = self._aggregate_dtype(kind, base)
-                return Schema(
-                    "aggregation",
-                    [SchemaField(n, dtypes[n].str) for n in plan.output_order],
-                )
-            fields = []
-            for name, _hint, fn in plan.projection:
-                array = np.asarray(fn(empty))
-                if array.shape == ():
-                    array = np.full(0, array)
-                fields.append(
-                    SchemaField(name, array.dtype.str, shape=array.shape[1:])
-                )
-            return Schema("projection", fields)
-        except Exception:
-            return None
-
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+
+    def prepare(self, text, allow_tag_route=True):
+        """Parse, plan, split and route without starting.
+
+        Returns ``(root, empty_schema, reports)`` — the unstarted
+        coordinator tree, the static output schema, and one
+        :class:`~repro.distributed.routing.ShardFanoutReport` per SELECT.
+        The session layer builds on this to control the job lifecycle.
+        """
+        ast = parse_query(text)
+        reports = []
+        root, empty_schema = self.build_tree(
+            ast, allow_tag_route=allow_tag_route, reports=reports
+        )
+        return root, empty_schema, reports
 
     def execute(self, text, allow_tag_route=True):
         """Parse, plan, split, fan out, and start a query.
@@ -299,26 +264,27 @@ class DistributedQueryEngine:
         Returns a :class:`DistributedQueryResult` streaming merged
         batches; shard sub-trees for all touched servers run in parallel
         threads, exactly like the single-store engine's QET.
+
+        .. deprecated::
+           Prefer the session facade (``Archive.connect(engine)``), which
+           returns a :class:`~repro.session.Cursor` with the uniform
+           result model; this entry point remains as a thin shim.
         """
-        ast = parse_query(text)
-        reports = []
-        root, empty_schema = self.build_tree(
-            ast, allow_tag_route=allow_tag_route, reports=reports
+        root, empty_schema, reports = self.prepare(
+            text, allow_tag_route=allow_tag_route
         )
         if self.scheduler is not None:
             label = " ".join(text.split())[:40]
             for report in reports:
                 admit_scan_jobs(self.scheduler, label, report)
-        started_at = time.perf_counter()
-        for node in reversed(list(root.walk())):
-            node.start()
+        started_at = start_tree(root)
         return DistributedQueryResult(root, started_at, reports, empty_schema)
 
     def query_table(self, text, allow_tag_route=True):
         """Convenience: execute and materialize.
 
-        Unlike the single-store engine, a fully empty result returns an
-        *empty table with the right schema* whenever that schema is
-        statically known (``None`` otherwise).
+        A fully empty result returns an *empty table with the right
+        schema* whenever that schema is statically known (``None``
+        otherwise) — the same contract as the single-store engine.
         """
         return self.execute(text, allow_tag_route=allow_tag_route).table()

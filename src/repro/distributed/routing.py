@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 
 from repro.machines.scheduler import Job
 
-__all__ = ["ShardFanoutReport", "route_plan", "admit_scan_jobs"]
+__all__ = [
+    "ShardFanoutReport",
+    "route_plan",
+    "scan_jobs_for",
+    "admit_scan_jobs",
+]
 
 
 @dataclass
@@ -104,15 +109,15 @@ def route_plan(archive, routed_source, candidates):
     return touched, report
 
 
-def admit_scan_jobs(scheduler, label, report, arrival_time=0.0):
-    """Admit one interactive scan job per touched server.
+def scan_jobs_for(label, report, arrival_time=0.0):
+    """One (unscheduled) interactive scan job per touched server.
 
-    Per the paper's policy the scan machines are *interactively*
-    scheduled — every per-server job starts at its arrival time and
-    overlaps freely with other queries' sweeps.  Returns the scheduled
-    jobs (with times filled in by the scheduler).
+    The single source of the ``scan:<server_id>`` machine-name and
+    per-server duration convention; both the legacy batch admission
+    (:func:`admit_scan_jobs`) and the session layer's stateful
+    admission build their jobs here.
     """
-    jobs = [
+    return [
         Job(
             name=f"{label}@server{server_id}",
             machine=f"scan:{server_id}",
@@ -121,4 +126,14 @@ def admit_scan_jobs(scheduler, label, report, arrival_time=0.0):
         )
         for server_id in report.touched_server_ids
     ]
-    return scheduler.run(jobs)
+
+
+def admit_scan_jobs(scheduler, label, report, arrival_time=0.0):
+    """Admit one interactive scan job per touched server.
+
+    Per the paper's policy the scan machines are *interactively*
+    scheduled — every per-server job starts at its arrival time and
+    overlaps freely with other queries' sweeps.  Returns the scheduled
+    jobs (with times filled in by the scheduler).
+    """
+    return scheduler.run(scan_jobs_for(label, report, arrival_time))

@@ -47,41 +47,66 @@ class Job:
 
 
 class MachineScheduler:
-    """Simulated-time admission control for the three machine classes."""
+    """Simulated-time admission control for the machine classes.
 
-    BATCH_MACHINES = ("hash", "river")
+    Machines come in two policies: the *scan* class (``'scan'`` and
+    per-server ``'scan:<k>'``) is interactively scheduled — jobs overlap
+    freely on the shared sweep — while the *batch* class (``'hash'``,
+    ``'river'``, and the session layer's ``'batch'`` query machine)
+    serializes FIFO per machine.
+    """
+
+    BATCH_MACHINES = ("hash", "river", "batch")
 
     def __init__(self):
         self.completed = []
+        #: per-batch-machine completion horizon for stateful admission
+        self._machine_free_at = {}
 
     @staticmethod
     def is_scan_machine(machine):
         """True for the scan class: ``'scan'`` or a per-server ``'scan:<k>'``."""
         return machine == "scan" or machine.startswith("scan:")
 
+    def _place(self, job, free_at):
+        """Shared placement: scan overlaps freely, batch serializes FIFO
+        against ``free_at`` (the per-machine completion horizon)."""
+        if self.is_scan_machine(job.machine):
+            job.started_at = job.arrival_time
+            job.completed_at = job.started_at + job.duration
+        elif job.machine in self.BATCH_MACHINES:
+            start = max(job.arrival_time, free_at.get(job.machine, 0.0))
+            job.started_at = start
+            job.completed_at = start + job.duration
+            free_at[job.machine] = job.completed_at
+        else:
+            raise ValueError(f"unknown machine {job.machine!r}")
+        self.completed.append(job)
+        return job
+
     def run(self, jobs):
         """Schedule all jobs; returns them with times filled in.
 
         Scan jobs overlap freely (shared sweep: a scan job admitted at
         time t completes at t + duration regardless of other scan jobs).
-        Batch jobs serialize per machine in arrival order.
+        Batch jobs serialize per machine in arrival order; the batch
+        horizon resets per call (one closed job list).
         """
         jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.name))
-        machine_free_at = {machine: 0.0 for machine in self.BATCH_MACHINES}
-
+        free_at = {}
         for job in jobs:
-            if self.is_scan_machine(job.machine):
-                job.started_at = job.arrival_time
-                job.completed_at = job.started_at + job.duration
-            elif job.machine in machine_free_at:
-                start = max(job.arrival_time, machine_free_at[job.machine])
-                job.started_at = start
-                job.completed_at = start + job.duration
-                machine_free_at[job.machine] = job.completed_at
-            else:
-                raise ValueError(f"unknown machine {job.machine!r}")
-            self.completed.append(job)
+            self._place(job, free_at)
         return jobs
+
+    def admit(self, job):
+        """Stateful single-job admission (for session-style submission).
+
+        Unlike :meth:`run`, ``admit`` remembers each batch machine's
+        completion time across calls, so jobs submitted one at a time
+        still serialize FIFO per machine while scan jobs keep
+        overlapping freely.  Returns the job with times filled in.
+        """
+        return self._place(job, self._machine_free_at)
 
     def mean_turnaround(self, machine=None):
         """Average turnaround of completed jobs (optionally one machine)."""

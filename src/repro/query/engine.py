@@ -10,6 +10,14 @@ immediately."*
 a QET from parsed query text, starts every node's thread, and returns a
 :class:`QueryResult` that streams batches to the caller while recording
 time-to-first-row — the measurable form of the ASAP claim.
+
+.. note::
+   ``QueryEngine`` remains fully supported as the single-store execution
+   backend, but the preferred *user-facing* entry point is now the
+   session facade: ``repro.session.Archive.connect(engine)`` wraps this
+   engine (or a distributed one) behind the uniform
+   :class:`~repro.session.Session` / :class:`~repro.session.Job` /
+   :class:`~repro.session.Cursor` surface.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import time
 from repro.catalog.table import ObjectTable
 from repro.query.ast_nodes import Select, SetOp
 from repro.query.errors import PlanError
-from repro.query.optimizer import plan_query
+from repro.query.optimizer import output_schema_for, plan_query
 from repro.query.parser import parse_query
 from repro.query.qet import (
     AggregateNode,
@@ -33,7 +41,19 @@ from repro.query.qet import (
     UnionNode,
 )
 
-__all__ = ["QueryEngine", "QueryResult"]
+__all__ = ["QueryEngine", "QueryResult", "start_tree"]
+
+
+def start_tree(root):
+    """Start every node thread of an unstarted QET, leaves last.
+
+    Returns the ``perf_counter`` start time, which result handles use as
+    the zero point for time-to-first-row.
+    """
+    started_at = time.perf_counter()
+    for node in reversed(list(root.walk())):
+        node.start()
+    return started_at
 
 
 class QueryResult:
@@ -42,10 +62,10 @@ class QueryResult:
     Iterate for batches; ``table()`` drains into one
     :class:`~repro.catalog.table.ObjectTable`.  ``time_to_first_row`` and
     ``time_to_completion`` (seconds) are populated as the stream is
-    consumed.  ``empty_schema`` optionally names the output schema of a
-    query that produced no batches, so empty results can still be
-    well-formed tables (the distributed executor uses this for queries
-    whose every shard was pruned).
+    consumed.  ``empty_schema`` names the statically-derived output
+    schema, so a query that produced no batches still materializes as a
+    well-formed *empty* table — the same contract for local and
+    distributed execution.
     """
 
     def __init__(self, root, started_at, empty_schema=None):
@@ -56,19 +76,32 @@ class QueryResult:
         self.time_to_completion = None
         self.rows = 0
 
+    @property
+    def schema(self):
+        """Static output schema, or ``None`` in the rare case it cannot
+        be derived without data (e.g. a projection that fails on a
+        zero-row table)."""
+        return self._empty_schema
+
     def __iter__(self):
         for batch in self._root.output:
             if self.time_to_first_row is None and len(batch):
                 self.time_to_first_row = time.perf_counter() - self._started_at
             self.rows += len(batch)
             yield batch
-        self.time_to_completion = time.perf_counter() - self._started_at
+        # Re-draining a finished result is a no-op; keep the first
+        # completion time rather than overwriting it with a later read.
+        if self.time_to_completion is None:
+            self.time_to_completion = time.perf_counter() - self._started_at
         self._root.join()
 
     def table(self):
-        """Materialize the full result (empty results need a schema hint
-        from the root's first batch; an empty bag returns ``None`` unless
-        an ``empty_schema`` hint was supplied at construction)."""
+        """Materialize the full result.
+
+        An empty bag returns an empty table of the statically-derived
+        output schema; only when that schema is unknowable (no
+        ``empty_schema``) does this fall back to ``None``.
+        """
         batches = list(self)
         if not batches:
             if self._empty_schema is not None:
@@ -77,8 +110,33 @@ class QueryResult:
         return ObjectTable.concat_all(batches)
 
     def cancel(self):
-        """Stop the query early."""
-        self._root.output.cancel()
+        """Stop the query early.
+
+        Cancels *every* node's output stream, not just the root's: a
+        pipeline breaker (sort, aggregate) blocked draining its child
+        would otherwise keep scanning until the child finished.  Each
+        node thread notices its cancelled stream and exits promptly.
+        """
+        for node in self._root.walk():
+            node.output.cancel()
+
+    def join(self, timeout=None):
+        """Join every node thread in the tree.
+
+        ``timeout`` bounds the *total* wait across all nodes.  Use
+        :meth:`alive_nodes` afterwards to check for stragglers.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        for node in self._root.walk():
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            node.join(remaining)
+
+    def alive_nodes(self):
+        """Nodes whose threads are still running (empty after a clean
+        drain or a completed cancel)."""
+        return [node for node in self._root.walk() if node.is_alive()]
 
     def node_stats(self):
         """Mapping of node -> stats for the whole tree."""
@@ -111,15 +169,31 @@ class QueryEngine:
 
     def build_tree(self, ast, allow_tag_route=True):
         """Build (but do not start) the QET for a parsed query."""
+        root, _schema, _plans = self.prepare_tree(ast, allow_tag_route)
+        return root
+
+    def prepare_tree(self, ast, allow_tag_route=True):
+        """Build an unstarted QET plus its static output metadata.
+
+        Returns ``(root, empty_schema, plans)``: the tree, the
+        statically-derived output schema (a set operation reports its
+        left branch's schema), and the :class:`QueryPlan` of every
+        SELECT in execution order.
+        """
         if isinstance(ast, SetOp):
-            left = self.build_tree(ast.left, allow_tag_route)
-            right = self.build_tree(ast.right, allow_tag_route)
+            left, left_schema, left_plans = self.prepare_tree(
+                ast.left, allow_tag_route
+            )
+            right, _right_schema, right_plans = self.prepare_tree(
+                ast.right, allow_tag_route
+            )
+            plans = left_plans + right_plans
             if ast.op == "UNION":
-                return UnionNode(left, right)
+                return UnionNode(left, right), left_schema, plans
             if ast.op == "INTERSECT":
-                return IntersectNode(left, right)
+                return IntersectNode(left, right), left_schema, plans
             if ast.op == "EXCEPT":
-                return DifferenceNode(left, right)
+                return DifferenceNode(left, right), left_schema, plans
             raise PlanError(f"unknown set operator {ast.op}")
         if not isinstance(ast, Select):
             raise PlanError(f"cannot execute {type(ast).__name__}")
@@ -130,6 +204,11 @@ class QueryEngine:
             density_maps=self.density_maps,
             allow_tag_route=allow_tag_route,
         )
+        root = self._select_tree(plan)
+        return root, output_schema_for(plan, self.schemas), [plan]
+
+    def _select_tree(self, plan):
+        """The single-store QET for one planned SELECT."""
         store = self.stores[plan.routed_source]
         node = ScanNode(store, plan)
         if plan.is_aggregate:
@@ -152,7 +231,13 @@ class QueryEngine:
         return node
 
     def explain(self, text, allow_tag_route=True):
-        """Plans for each SELECT in the query, for inspection/benchmarks."""
+        """Plans for each SELECT in the query, for inspection/benchmarks.
+
+        .. deprecated::
+           For a uniform, structured plan *tree* (the same shape for
+           local and distributed execution), prefer
+           ``Archive.connect(engine).explain(text)``.
+        """
         ast = parse_query(text)
         plans = []
 
@@ -177,15 +262,29 @@ class QueryEngine:
     # execution
     # ------------------------------------------------------------------
 
-    def execute(self, text, allow_tag_route=True):
-        """Parse, plan, and start a query; returns a :class:`QueryResult`."""
+    def prepare(self, text, allow_tag_route=True):
+        """Parse and plan without starting: ``(root, empty_schema, plans)``."""
         ast = parse_query(text)
-        root = self.build_tree(ast, allow_tag_route=allow_tag_route)
-        started_at = time.perf_counter()
-        for node in reversed(list(root.walk())):
-            node.start()
-        return QueryResult(root, started_at)
+        return self.prepare_tree(ast, allow_tag_route=allow_tag_route)
+
+    def execute(self, text, allow_tag_route=True):
+        """Parse, plan, and start a query; returns a :class:`QueryResult`.
+
+        .. deprecated::
+           Prefer the session facade (``Archive.connect(engine)``), which
+           returns a :class:`~repro.session.Cursor` with the uniform
+           result model; this entry point remains as a thin shim.
+        """
+        root, empty_schema, _plans = self.prepare(
+            text, allow_tag_route=allow_tag_route
+        )
+        started_at = start_tree(root)
+        return QueryResult(root, started_at, empty_schema=empty_schema)
 
     def query_table(self, text, allow_tag_route=True):
-        """Convenience: execute and materialize (``None`` for empty bags)."""
+        """Convenience: execute and materialize.
+
+        Empty bags come back as empty, correctly-schemed tables (see
+        :meth:`QueryResult.table`).
+        """
         return self.execute(text, allow_tag_route=allow_tag_route).table()

@@ -44,6 +44,7 @@ from repro.query.predicates import (
 __all__ = [
     "QueryPlan",
     "plan_query",
+    "output_schema_for",
     "AGGREGATE_FUNCTIONS",
     "MergeSpec",
     "ShardedPlan",
@@ -290,6 +291,70 @@ def plan_query(select, schemas, density_maps=None, allow_tag_route=True):
     if region is not None and density_maps and routed in density_maps:
         plan.estimate = density_maps[routed].estimate(region)
     return plan
+
+
+# ----------------------------------------------------------------------
+# static output schema
+# ----------------------------------------------------------------------
+
+
+def _aggregate_dtype(kind, base):
+    """Output dtype of one aggregate, matching AggregateNode's arrays.
+
+    The runtime node builds columns from the reduced scalars, so the
+    static schema must reproduce numpy's reduction dtypes — COUNT
+    collects python ints (int64), SUM follows np.sum's promotion, AVG
+    follows np.mean, MIN/MAX keep the input dtype.
+    """
+    if kind == "COUNT":
+        return np.dtype(np.int64)
+    if kind == "SUM":
+        return np.sum(np.zeros(1, dtype=base)).dtype
+    if kind == "AVG":
+        return np.mean(np.zeros(1, dtype=base)).dtype
+    return np.dtype(base)
+
+
+def output_schema_for(plan, schemas):
+    """Static output :class:`Schema` of one plan, or ``None`` if unknowable.
+
+    Derived by evaluating the plan's compiled expressions over a zero-row
+    table of the routed schema, so an empty result carries the same
+    dtypes a non-empty result of the same query would.  Every engine
+    threads this into its results so that *empty bags are well-formed
+    empty tables* — the same contract for local and distributed
+    execution.
+    """
+    from repro.catalog.table import ObjectTable
+
+    routed = schemas[plan.routed_source]
+    if not plan.is_aggregate and not plan.projection:
+        return routed
+    try:
+        empty = ObjectTable(routed)
+        if plan.is_aggregate:
+            dtypes = {}
+            for name, fn in plan.group_specs:
+                if name is not None:
+                    dtypes[name] = np.asarray(fn(empty)).dtype
+            for name, kind, fn in plan.aggregate_specs:
+                base = np.asarray(fn(empty)).dtype
+                dtypes[name] = _aggregate_dtype(kind, base)
+            return Schema(
+                "aggregation",
+                [SchemaField(n, dtypes[n].str) for n in plan.output_order],
+            )
+        fields = []
+        for name, _hint, fn in plan.projection:
+            array = np.asarray(fn(empty))
+            if array.shape == ():
+                array = np.full(0, array)
+            fields.append(
+                SchemaField(name, array.dtype.str, shape=array.shape[1:])
+            )
+        return Schema("projection", fields)
+    except Exception:
+        return None
 
 
 # ----------------------------------------------------------------------

@@ -63,13 +63,28 @@ class Stream:
         self.error = None
 
     def cancel(self):
-        """Consumer signals it needs no more batches."""
+        """Signal that no more batches are wanted.
+
+        Callable by the consumer (the classic LIMIT path) *or* by a
+        third party such as a session cancelling a whole query tree.
+        Both sides are woken: the queue is drained so a blocked producer
+        unblocks, and a sentinel is enqueued so a consumer blocked in
+        ``get`` sees end-of-stream instead of waiting forever (a
+        cancelled producer's ``close()`` never delivers its sentinel).
+        """
         self._cancelled.set()
         # Drain so a blocked producer wakes up.
         try:
             while True:
                 self._queue.get_nowait()
         except queue.Empty:
+            pass
+        # Wake a blocked consumer; the queue was just drained, so space
+        # exists unless a producer raced a batch in (then the consumer's
+        # cancelled-check after get() ends the iteration instead).
+        try:
+            self._queue.put_nowait(_SENTINEL)
+        except queue.Full:
             pass
 
     def cancelled(self):
@@ -109,8 +124,14 @@ class Stream:
         can never be mistaken for an empty result.
         """
         while not self._finished:
+            if self._cancelled.is_set() and self._queue.empty():
+                self._finished = True
+                break
             batch = self._queue.get()
             if batch is _SENTINEL:
+                self._finished = True
+                break
+            if self._cancelled.is_set():
                 self._finished = True
                 break
             yield batch
@@ -156,6 +177,10 @@ class QETNode:
     def join(self, timeout=None):
         if self._thread is not None:
             self._thread.join(timeout)
+
+    def is_alive(self):
+        """True while this node's thread is running."""
+        return self._thread is not None and self._thread.is_alive()
 
     def _run_guarded(self):
         try:

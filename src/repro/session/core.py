@@ -1,0 +1,514 @@
+"""Archive sessions and first-class query jobs.
+
+The paper's archive serves users through a single query agent: a query
+arrives, is classified (interactive vs. batch), scheduled, and its
+results stream back as soon as possible.  :class:`Session` is that
+agent.  It wraps any :class:`~repro.session.executor.Executor` backend,
+classifies submissions via ``query_class``, admits them through the
+:class:`~repro.machines.scheduler.MachineScheduler` (so interactive
+queries keep their paper-mandated priority while batch queries queue
+FIFO on the batch machine), and hands every submission back as a
+:class:`Job` with a uniform :class:`~repro.session.cursor.Cursor`.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+
+from repro.distributed.routing import scan_jobs_for
+from repro.machines.scheduler import Job as MachineJob
+from repro.machines.scheduler import MachineScheduler
+from repro.query.engine import QueryResult, start_tree
+from repro.session.cursor import Cursor
+from repro.session.executor import DistributedExecutor, Executor, LocalExecutor
+from repro.session.plan import plan_tree
+
+__all__ = [
+    "Archive",
+    "Session",
+    "Job",
+    "JobState",
+    "SessionError",
+    "JobCancelledError",
+    "connect",
+]
+
+#: Dispatcher shutdown sentinel.
+_STOP = object()
+
+
+class SessionError(RuntimeError):
+    """Misuse of the session API (closed session, bad query class...)."""
+
+
+class JobCancelledError(SessionError):
+    """Reading results of a job that was cancelled before it started."""
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one submitted query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    def is_terminal(self):
+        return self in (JobState.DONE, JobState.CANCELLED, JobState.FAILED)
+
+
+class Job:
+    """One submitted query with first-class lifecycle.
+
+    States move ``QUEUED -> RUNNING -> DONE | CANCELLED | FAILED``
+    (interactive jobs skip straight to RUNNING at submission; batch jobs
+    wait in the session's FIFO batch queue).  ``job.cursor`` is the
+    uniform result handle; ``rows`` / ``time_to_first_row`` are live
+    progress counters; :meth:`cancel` stops every QET node thread;
+    :meth:`node_stats` exposes per-node execution counters.
+    """
+
+    def __init__(self, session, job_id, prepared, query_class):
+        self._session = session
+        self.job_id = job_id
+        self.text = prepared.text
+        self.query_class = query_class
+        self._prepared = prepared
+        self._state = JobState.QUEUED
+        self._lock = threading.Lock()
+        self._readable = threading.Event()
+        self._finished = threading.Event()
+        self._result = None
+        self.error = None
+        #: simulated-scheduler admissions backing this job (scan jobs for
+        #: interactive queries, one batch-machine job for batch queries)
+        self.machine_jobs = []
+        self.cursor = Cursor(self)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def state(self):
+        return self._state
+
+    @property
+    def static_schema(self):
+        """Statically-derived output schema of this query."""
+        return self._prepared.schema
+
+    @property
+    def reports(self):
+        """Shard fan-out reports (distributed backends; empty otherwise)."""
+        return list(self._prepared.reports)
+
+    @property
+    def rows(self):
+        """Rows produced so far."""
+        return 0 if self._result is None else self._result.rows
+
+    @property
+    def time_to_first_row(self):
+        return None if self._result is None else self._result.time_to_first_row
+
+    @property
+    def time_to_completion(self):
+        return None if self._result is None else self._result.time_to_completion
+
+    def node_stats(self):
+        """Per-QET-node execution counters (empty before start)."""
+        return {} if self._result is None else self._result.node_stats()
+
+    def __repr__(self):
+        return (
+            f"Job({self.job_id!r}, {self.query_class}, "
+            f"{self._state.value}, rows={self.rows})"
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _start(self):
+        """Start the execution tree (submission thread for interactive
+        jobs, dispatcher thread for batch jobs)."""
+        with self._lock:
+            if self._state is not JobState.QUEUED:
+                return False
+            self._state = JobState.RUNNING
+        started_at = start_tree(self._prepared.root)
+        result = QueryResult(
+            self._prepared.root, started_at, empty_schema=self._prepared.schema
+        )
+        with self._lock:
+            self._result = result
+            cancelled = self._state is JobState.CANCELLED
+        if cancelled:
+            # cancel() raced the thread start and missed the result (it
+            # was still None); finish the cancellation here.
+            result.cancel()
+            return False
+        self._readable.set()
+        return True
+
+    def _note_done(self):
+        with self._lock:
+            if self._state is JobState.RUNNING:
+                self._state = JobState.DONE
+        self._finished.set()
+
+    def _note_failed(self, exc):
+        with self._lock:
+            if not self._state.is_terminal():
+                self._state = JobState.FAILED
+                self.error = exc
+        self._finished.set()
+
+    def cancel(self):
+        """Cancel this job.
+
+        A queued batch job never starts (state CANCELLED; the dispatcher
+        skips it).  A running job has every node's stream cancelled, so
+        all QET threads stop promptly; already-produced rows remain
+        readable from the cursor.
+        """
+        with self._lock:
+            if self._state.is_terminal():
+                return
+            self._state = JobState.CANCELLED
+            result = self._result
+        if result is not None:
+            result.cancel()
+        # If the job was mid-start (RUNNING but result not yet assigned),
+        # _start's post-assignment check finishes the cancellation.
+        self._readable.set()
+        self._finished.set()
+
+    def wait(self, timeout=None):
+        """Block until the job is terminal; returns the final state.
+
+        Batch jobs are driven by the session's dispatcher; interactive
+        jobs finish when their cursor is drained (by you), cancelled, or
+        failed — waiting on an undrained interactive job blocks.
+        """
+        self._finished.wait(timeout)
+        return self._state
+
+    def join(self, timeout=None):
+        """Wait for terminal state, then join every QET node thread."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+        self._finished.wait(remaining)
+        if self._result is not None:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            self._result.join(remaining)
+
+    def alive_nodes(self):
+        """QET nodes whose threads are still running."""
+        return [] if self._result is None else self._result.alive_nodes()
+
+    # -- cursor support -------------------------------------------------
+
+    def _wait_readable(self):
+        """Block until results may be read; returns the QueryResult.
+
+        Interactive jobs are readable immediately; batch jobs once the
+        dispatcher has run them to completion (the paper's batch
+        contract: queued, run exclusively, results delivered when done).
+        """
+        if self.query_class == "batch":
+            self._finished.wait()
+        else:
+            self._readable.wait()
+        if self._result is None:
+            if self.error is not None:
+                raise SessionError(
+                    f"job {self.job_id!r} failed to start: {self.error}"
+                ) from self.error
+            raise JobCancelledError(
+                f"job {self.job_id!r} was cancelled before it started"
+            )
+        return self._result
+
+    def _run_to_completion(self):
+        """Dispatcher body for batch jobs: drain into the cursor buffer.
+
+        Drains ``self._result`` directly (not through the cursor's pull
+        path, whose batch gate waits on this very method to finish).
+        Rows land in the cursor buffer, so results are delivered on
+        completion; a failure keeps the partial rows readable and the
+        underlying stream's sticky error re-raises for the reader.
+        """
+        if not self._start():
+            return  # cancelled while queued
+        try:
+            for batch in self._result:
+                if self.cursor._seen_schema is None:
+                    self.cursor._seen_schema = batch.schema
+                self.cursor._buffer.append(batch)
+            self._note_done()
+        except Exception as exc:
+            self._note_failed(exc)
+
+
+class Session:
+    """The query agent: one facade over any execution backend.
+
+    Obtained from :meth:`Archive.connect`.  ``submit`` classifies a
+    query (``"interactive"`` streams ASAP, ``"batch"`` queues FIFO
+    behind other batch work), admits it to the machine scheduler, and
+    returns a :class:`Job`; ``execute`` / ``query_table`` are the
+    cursor-first conveniences; ``explain`` returns the structured
+    :class:`~repro.session.plan.PlanTree` — the same representation for
+    local and distributed execution.
+    """
+
+    QUERY_CLASSES = ("interactive", "batch")
+
+    def __init__(self, executor, scheduler=None):
+        if not hasattr(executor, "prepare"):
+            raise TypeError(
+                "executor must implement the Executor protocol "
+                "(a prepare(text, allow_tag_route=...) method)"
+            )
+        self.executor = executor
+        self.scheduler = scheduler if scheduler is not None else MachineScheduler()
+        self.jobs = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._batch_queue = queue.Queue()
+        self._dispatcher = None
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def backend(self):
+        """The backend kind ('local', 'distributed', ...)."""
+        return getattr(self.executor, "kind", "unknown")
+
+    @property
+    def closed(self):
+        return self._closed
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, text, query_class="interactive", allow_tag_route=True):
+        """Classify, schedule, and (for interactive) start one query.
+
+        Returns a :class:`Job` immediately: interactive jobs are already
+        RUNNING and stream ASAP; batch jobs are QUEUED behind earlier
+        batch work and run exclusively in submission order.
+        """
+        if query_class not in self.QUERY_CLASSES:
+            raise SessionError(
+                f"unknown query class {query_class!r}; "
+                f"expected one of {self.QUERY_CLASSES}"
+            )
+        prepared = self.executor.prepare(text, allow_tag_route=allow_tag_route)
+        with self._lock:
+            # The closed check, registration, and batch enqueue share
+            # one critical section with close(): a submit can never slip
+            # a job behind the dispatcher's stop sentinel.
+            if self._closed:
+                raise SessionError("session is closed")
+            job_id = f"job-{len(self.jobs)}"
+            job = Job(self, job_id, prepared, query_class)
+            self.jobs.append(job)
+            self._admit(job)
+            if query_class == "batch":
+                if self._dispatcher is None:
+                    self._dispatcher = threading.Thread(
+                        target=self._dispatch_batches, daemon=True
+                    )
+                    self._dispatcher.start()
+                self._batch_queue.put(job)
+        if query_class == "interactive":
+            job._start()
+        return job
+
+    def execute(self, text, allow_tag_route=True):
+        """Submit interactively and return the streaming :class:`Cursor`."""
+        return self.submit(
+            text, query_class="interactive", allow_tag_route=allow_tag_route
+        ).cursor
+
+    def query_table(self, text, allow_tag_route=True):
+        """Submit interactively and materialize the full result table."""
+        return self.execute(text, allow_tag_route=allow_tag_route).to_table()
+
+    def explain(self, text, allow_tag_route=True):
+        """Structured plan tree of what execution would do — without
+        running anything.  The same :class:`PlanTree` representation for
+        every backend."""
+        prepared = self.executor.prepare(text, allow_tag_route=allow_tag_route)
+        return plan_tree(prepared.root)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _admit(self, job):
+        """Simulated-scheduler accounting for one submission.
+
+        Interactive queries admit one scan job per touched server (the
+        scan machines are interactively scheduled: overlap freely);
+        batch queries admit one job on the exclusive FIFO ``batch``
+        machine — the paper's priority split.  All times stay in the
+        scheduler's *simulated* clock (arrival 0.0, like the legacy
+        admission paths), so turnaround statistics keep coherent units.
+        """
+        label = " ".join(job.text.split())[:40]
+        if job.query_class == "batch":
+            job.machine_jobs.append(
+                self.scheduler.admit(
+                    MachineJob(
+                        name=label,
+                        machine="batch",
+                        duration=job._prepared.simulated_seconds(),
+                    )
+                )
+            )
+            return
+        if job._prepared.reports:
+            for report in job._prepared.reports:
+                for machine_job in scan_jobs_for(label, report):
+                    job.machine_jobs.append(self.scheduler.admit(machine_job))
+        else:
+            job.machine_jobs.append(
+                self.scheduler.admit(
+                    MachineJob(name=label, machine="scan", duration=0.0)
+                )
+            )
+
+    def _dispatch_batches(self):
+        """Batch machine: run queued jobs exclusively, FIFO.
+
+        A job whose backend blows up during start must fail *that job*,
+        not kill the dispatcher — later batch jobs still run.
+        """
+        while True:
+            job = self._batch_queue.get()
+            if job is _STOP:
+                return
+            try:
+                job._run_to_completion()
+            except Exception as exc:
+                job._note_failed(exc)
+
+    # -- teardown -------------------------------------------------------
+
+    def close(self):
+        """Cancel outstanding jobs and stop the batch dispatcher."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher = self._dispatcher
+            if dispatcher is not None:
+                # Enqueued under the same lock as submissions, so the
+                # sentinel is strictly last.
+                self._batch_queue.put(_STOP)
+        for job in self.jobs:
+            if not job.state.is_terminal():
+                job.cancel()
+        if dispatcher is not None:
+            dispatcher.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class Archive:
+    """The archive facade: ``Archive.connect(...)`` -> :class:`Session`.
+
+    Accepts any backend shape and wraps it behind the one Session API:
+
+    * a :class:`~repro.query.engine.QueryEngine` (single store),
+    * a :class:`~repro.distributed.engine.DistributedQueryEngine`,
+    * a :class:`~repro.storage.cluster.DistributedArchive` (an engine is
+      built over it),
+    * a mapping of source name -> :class:`ContainerStore` (a
+      single-store engine is built),
+    * or any object implementing the
+      :class:`~repro.session.executor.Executor` protocol (e.g. a future
+      remote executor).
+    """
+
+    @staticmethod
+    def connect(
+        backend=None,
+        *,
+        stores=None,
+        archive=None,
+        density_maps=None,
+        scheduler=None,
+        batch_rows=4096,
+    ):
+        """Connect to a backend and open a :class:`Session`.
+
+        Exactly one of ``backend``, ``stores`` or ``archive`` must be
+        given; ``density_maps`` feeds cost estimation, ``scheduler``
+        shares a :class:`MachineScheduler` with other archive machinery
+        (one is created otherwise).  ``batch_rows`` sizes the shard
+        batches of the engine built over a raw ``DistributedArchive``;
+        it has no effect on the other backend shapes, which arrive with
+        their batching already configured.
+        """
+        # Deferred imports keep repro.session importable without pulling
+        # every backend package eagerly.
+        from repro.distributed.engine import DistributedQueryEngine
+        from repro.query.engine import QueryEngine
+        from repro.storage.cluster import DistributedArchive
+
+        given = [x for x in (backend, stores, archive) if x is not None]
+        if len(given) != 1:
+            raise TypeError(
+                "Archive.connect needs exactly one of backend=, stores= "
+                "or archive="
+            )
+        target = given[0]
+
+        if isinstance(target, Executor) or (
+            not isinstance(
+                target, (QueryEngine, DistributedQueryEngine, DistributedArchive, dict)
+            )
+            and hasattr(target, "prepare")
+            and hasattr(target, "kind")
+        ):
+            executor = target
+        elif isinstance(target, QueryEngine):
+            executor = LocalExecutor(target)
+        elif isinstance(target, DistributedQueryEngine):
+            executor = DistributedExecutor(target)
+        elif isinstance(target, DistributedArchive):
+            executor = DistributedExecutor(
+                DistributedQueryEngine(
+                    target, density_maps=density_maps, batch_rows=batch_rows
+                )
+            )
+        elif isinstance(target, dict):
+            executor = LocalExecutor(
+                QueryEngine(target, density_maps=density_maps)
+            )
+        else:
+            raise TypeError(
+                f"cannot connect to {type(target).__name__}: expected an "
+                "engine, a DistributedArchive, a store mapping, or an "
+                "Executor"
+            )
+        if scheduler is None:
+            # Inherit a scheduler the wrapped engine was already
+            # configured with, so session admissions land in the same
+            # accounting as the legacy execute() path.
+            scheduler = getattr(
+                getattr(executor, "engine", None), "scheduler", None
+            )
+        return Session(executor, scheduler=scheduler)
+
+
+def connect(*args, **kwargs):
+    """Module-level convenience alias for :meth:`Archive.connect`."""
+    return Archive.connect(*args, **kwargs)

@@ -1,0 +1,183 @@
+"""The uniform result handle: one cursor for every backend and query class.
+
+Replaces the three inconsistent result surfaces (local
+:class:`~repro.query.engine.QueryResult` whose ``table()`` could return
+``None``, distributed results with extra report fields, scheduler jobs
+with no results at all) with a single :class:`Cursor` that
+
+* always knows its output :class:`~repro.catalog.schema.Schema` (empty
+  results are well-formed empty tables),
+* streams batches ASAP for interactive jobs (iterate it),
+* paginates with :meth:`fetchmany`,
+* materializes with :meth:`to_table`,
+* cancels the whole execution tree with :meth:`cancel`, and
+* exposes the progress counters (``rows``, ``time_to_first_row``,
+  ``time_to_completion``) and per-node stats the paper's query agent
+  reports to users.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.catalog.table import ObjectTable
+from repro.query.errors import ExecutionError
+
+__all__ = ["Cursor"]
+
+
+class Cursor:
+    """Streaming/paging view of one :class:`~repro.session.Job`'s output.
+
+    Obtained from ``job.cursor`` (or directly from
+    ``session.execute(...)``).  Reading blocks until the job is readable:
+    immediately for interactive jobs, on batch-queue completion for
+    batch jobs.  Iteration, :meth:`fetchmany` and :meth:`to_table` share
+    one underlying stream position, so they compose (e.g. page the first
+    100 rows, then drain the rest with ``to_table()``).
+    """
+
+    def __init__(self, job):
+        self._job = job
+        self._buffer = deque()
+        self._underlying = None
+        self._seen_schema = None
+
+    # ------------------------------------------------------------------
+    # metadata and counters
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self):
+        """Output schema; statically derived, so it is known even for
+        queries that produce no rows."""
+        static = self._job.static_schema
+        if static is not None:
+            return static
+        return self._seen_schema
+
+    @property
+    def rows(self):
+        """Rows produced so far (a live progress counter)."""
+        result = self._job._result
+        return 0 if result is None else result.rows
+
+    @property
+    def time_to_first_row(self):
+        result = self._job._result
+        return None if result is None else result.time_to_first_row
+
+    @property
+    def time_to_completion(self):
+        result = self._job._result
+        return None if result is None else result.time_to_completion
+
+    def node_stats(self):
+        """Mapping of QET node -> :class:`~repro.query.qet.NodeStats`."""
+        result = self._job._result
+        return {} if result is None else result.node_stats()
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+
+    def _pull(self):
+        """Next batch from the execution tree, or ``None`` at the end.
+
+        Exhaustion marks the job DONE; an execution error marks it
+        FAILED before re-raising.  Callers must have passed the
+        readability gate (see :meth:`_next_batch`).
+        """
+        try:
+            batch = next(self._underlying)
+        except StopIteration:
+            self._job._note_done()
+            return None
+        except ExecutionError as exc:
+            self._job._note_failed(exc)
+            raise
+        if self._seen_schema is None:
+            self._seen_schema = batch.schema
+        return batch
+
+    def _next_batch(self):
+        """One batch for the consumer, gated on job readability.
+
+        The gate comes *before* the buffer check: a batch job's buffer
+        fills from the dispatcher thread while the job runs, and reading
+        it early would silently deliver a partial prefix.  Waiting for
+        readability first (completion, for batch jobs) makes the buffer
+        a stable, fully-populated source.
+        """
+        if self._underlying is None:
+            result = self._job._wait_readable()
+            self._underlying = iter(result)
+        if self._buffer:
+            return self._buffer.popleft()
+        return self._pull()
+
+    def __iter__(self):
+        """Stream batches (ObjectTables) as the tree produces them."""
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            yield batch
+
+    def fetchmany(self, n):
+        """The next ``n`` rows as one table (fewer at the end).
+
+        Returns a well-formed *empty* table once the stream is
+        exhausted, so ``while len(page := cursor.fetchmany(k)):`` is a
+        complete pagination loop.
+        """
+        n = int(n)
+        if n < 0:
+            raise ValueError("fetchmany needs a non-negative row count")
+        parts = []
+        have = 0
+        while have < n:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            take = min(len(batch), n - have)
+            if take < len(batch):
+                self._buffer.appendleft(batch.take(np.arange(take, len(batch))))
+                batch = batch.take(np.arange(take))
+            parts.append(batch)
+            have += take
+        return self._combine(parts)
+
+    def fetchall(self):
+        """Alias of :meth:`to_table` (drain everything remaining)."""
+        return self.to_table()
+
+    def to_table(self):
+        """Drain the remaining stream into one table.
+
+        Empty results are empty tables of the cursor's schema — never
+        ``None``.
+        """
+        parts = []
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            parts.append(batch)
+        return self._combine(parts)
+
+    def _combine(self, parts):
+        if parts:
+            return ObjectTable.concat_all(parts)
+        schema = self.schema
+        if schema is None:
+            # Unknowable without data (pathological projection); the
+            # documented rare fallback.
+            return None
+        return ObjectTable(schema)
+
+    def cancel(self):
+        """Cancel the owning job (stops every QET node thread)."""
+        self._job.cancel()

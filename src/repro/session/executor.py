@@ -1,0 +1,107 @@
+"""The Executor protocol: how the session facade talks to any backend.
+
+A backend is anything that can turn query text into an *unstarted*
+Query Execution Tree plus static output metadata.  The protocol is
+deliberately tiny — one method, one return type — so the optimizer and
+QET internals stop leaking into callers, and a future remote executor
+(a network client preparing trees against a far archive) slots in
+without touching the session layer:
+
+``prepare(text, allow_tag_route=True) -> PreparedQuery``
+    Parse, plan, (for distributed backends) split and route, and build
+    the execution tree **without starting any thread**.  The session
+    layer owns the lifecycle from there: admission through the machine
+    scheduler, thread start, streaming, cancellation.
+
+``kind``
+    A short backend label (``"local"``, ``"distributed"``, ...) used in
+    reporting.
+
+:class:`LocalExecutor` and :class:`DistributedExecutor` adapt the two
+existing engines; both delegate planning to the engines' ``prepare``
+methods, so session execution is byte-identical to the legacy entry
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PreparedQuery",
+    "Executor",
+    "LocalExecutor",
+    "DistributedExecutor",
+]
+
+
+@dataclass
+class PreparedQuery:
+    """Everything the session needs to run one query.
+
+    Attributes
+    ----------
+    text:
+        The original query text.
+    root:
+        The unstarted QET root; starting its threads begins execution.
+    schema:
+        Statically-derived output schema (``None`` only when unknowable
+        without data).
+    reports:
+        One :class:`~repro.distributed.routing.ShardFanoutReport` per
+        SELECT for distributed backends; empty for single-store ones.
+    """
+
+    text: str
+    root: object
+    schema: object = None
+    reports: list = field(default_factory=list)
+
+    def simulated_seconds(self):
+        """Total simulated scan seconds across the fan-out (0.0 when the
+        backend does not model per-server cost)."""
+        return sum(report.simulated_seconds for report in self.reports)
+
+
+class Executor:
+    """Protocol base class (subclassing is optional; duck-typing with a
+    ``prepare`` method and a ``kind`` attribute is enough)."""
+
+    kind = "abstract"
+
+    def prepare(self, text, allow_tag_route=True):
+        raise NotImplementedError
+
+
+class LocalExecutor(Executor):
+    """Adapter: a single-store :class:`~repro.query.engine.QueryEngine`."""
+
+    kind = "local"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def prepare(self, text, allow_tag_route=True):
+        root, schema, _plans = self.engine.prepare(
+            text, allow_tag_route=allow_tag_route
+        )
+        return PreparedQuery(text=text, root=root, schema=schema)
+
+
+class DistributedExecutor(Executor):
+    """Adapter: a scatter-gather
+    :class:`~repro.distributed.engine.DistributedQueryEngine`."""
+
+    kind = "distributed"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def prepare(self, text, allow_tag_route=True):
+        root, schema, reports = self.engine.prepare(
+            text, allow_tag_route=allow_tag_route
+        )
+        return PreparedQuery(
+            text=text, root=root, schema=schema, reports=reports
+        )

@@ -1,0 +1,141 @@
+"""Structured plan trees: one explain representation for every backend.
+
+The paper's query agent lets users inspect a query's cost before
+committing to it; our reproduction previously answered ``explain`` with
+raw :class:`~repro.query.optimizer.QueryPlan` objects for local
+execution and :class:`~repro.query.optimizer.ShardedPlan` objects for
+distributed execution — different shapes for the same question.
+:func:`plan_tree` instead renders the *actual* (unstarted) Query
+Execution Tree as a :class:`PlanTree` of plain ``kind``/``detail``
+nodes, so ``session.explain(text)`` produces the same structure whether
+the query would run on one store or fan out across partition servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.qet import (
+    AggregateNode,
+    ExchangeNode,
+    FilterNode,
+    LimitNode,
+    MergeSortNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+__all__ = ["PlanTree", "plan_tree"]
+
+
+@dataclass
+class PlanTree:
+    """One node of a structured query plan.
+
+    ``kind`` is the QET node kind (``scan``, ``sort``, ``limit``,
+    ``project``, ``aggregate``, ``filter``, ``union``, ``intersect``,
+    ``difference``, ``exchange``, ``merge_sort``); ``detail`` holds the
+    node's interesting properties (source and routing for scans, fan-out
+    and server pruning for merge points, ...).
+    """
+
+    kind: str
+    detail: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+
+    def walk(self):
+        """Generator over the subtree (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind):
+        """All nodes of one kind in the subtree."""
+        return [node for node in self.walk() if node.kind == kind]
+
+    def _line(self):
+        parts = [self.kind]
+        for key, value in self.detail.items():
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+    def render(self, indent=0):
+        """Indented multi-line rendering of the whole subtree."""
+        lines = ["  " * indent + self._line()]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def _scan_detail(node):
+    plan = node.plan
+    detail = {"source": plan.source}
+    if plan.routed_source != plan.source:
+        detail["routed"] = plan.routed_source
+    if plan.used_tag_route:
+        detail["tag_route"] = True
+    if plan.used_spatial_index:
+        detail["spatial_index"] = True
+    if plan.estimate is not None:
+        detail["predicted_rows"] = plan.estimate.predicted_result_count
+    return detail
+
+
+def _detail_for(node):
+    if isinstance(node, ScanNode):
+        return _scan_detail(node)
+    if isinstance(node, SortNode):
+        return {
+            "keys": len(node.key_fns),
+            "descending": list(node.descending_flags),
+        }
+    if isinstance(node, MergeSortNode):
+        return {
+            "fanout": len(node.children),
+            "keys": len(node.key_fns),
+            "descending": list(node.descending_flags),
+        }
+    if isinstance(node, ExchangeNode):
+        return {"fanout": len(node.children)}
+    if isinstance(node, LimitNode):
+        return {"limit": node.limit}
+    if isinstance(node, ProjectNode):
+        return {"columns": [name for name, _hint, _fn in node.projection]}
+    if isinstance(node, AggregateNode):
+        return {
+            "groups": [name for name, _fn in node.group_specs if name is not None],
+            "aggregates": [f"{kind}->{name}" for name, kind, _fn in node.aggregate_specs],
+        }
+    if isinstance(node, FilterNode):
+        return {"predicate": "having"}
+    return {}
+
+
+def plan_tree(root):
+    """Map an (unstarted) QET to its :class:`PlanTree`.
+
+    Because the tree is derived from the executable nodes themselves —
+    not from a parallel description — explain output can never drift
+    from what execution would actually do.  Distributed merge roots
+    carry their :class:`~repro.distributed.routing.ShardFanoutReport`
+    (``servers``/``pruned``), and each shard sub-tree is labelled with
+    the partition server it would run on.
+    """
+    detail = dict(_detail_for(root))
+    report = getattr(root, "fanout_report", None)
+    if report is not None:
+        detail["servers"] = list(report.touched_server_ids)
+        if report.pruned_server_ids:
+            detail["pruned"] = list(report.pruned_server_ids)
+    server_id = getattr(root, "server_id", None)
+    if server_id is not None:
+        detail["server"] = server_id
+    return PlanTree(
+        kind=root.name,
+        detail=detail,
+        children=[plan_tree(child) for child in root.children],
+    )

@@ -63,8 +63,11 @@ class TestSimpleSelects:
             assert float(row["gr"]) == pytest.approx(expected, rel=1e-6)
 
     def test_empty_result(self, engine):
+        # Empty bags are well-formed empty tables with the plan's output
+        # schema, never None.
         result = engine.query_table("SELECT objid FROM photo WHERE mag_r < 0")
-        assert result is None
+        assert len(result) == 0
+        assert result.schema.field_names() == ["objid"]
 
 
 class TestOrderLimit:
@@ -102,7 +105,8 @@ class TestOrderLimit:
 
     def test_limit_zero(self, engine):
         result = engine.query_table("SELECT objid FROM photo LIMIT 0")
-        assert result is None
+        assert len(result) == 0
+        assert result.schema.field_names() == ["objid"]
 
 
 class TestSetOperations:

@@ -1,0 +1,247 @@
+"""Job lifecycle: states, batch FIFO admission, cancellation, failure.
+
+Uses the real engines where timing doesn't matter, and a stub
+:class:`Executor` (proving the protocol is enough to plug in a new
+backend) with gate-controlled QET nodes where the tests need to freeze a
+job mid-run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.catalog.table import ObjectTable
+from repro.machines.scheduler import Job as MachineJob
+from repro.machines.scheduler import MachineScheduler
+from repro.query.errors import ExecutionError
+from repro.session import (
+    Archive,
+    JobCancelledError,
+    JobState,
+    PreparedQuery,
+    Session,
+    SessionError,
+)
+from repro.session.executor import Executor
+from repro.query.qet import QETNode
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class GateNode(QETNode):
+    """Emits its batches, then idles until its gate opens (or the node
+    is cancelled) — a controllable long-running query."""
+
+    name = "gate"
+
+    def __init__(self, batches, gate):
+        super().__init__(())
+        self.batches = list(batches)
+        self.gate = gate
+
+    def run(self):
+        for batch in self.batches:
+            if not self._emit(batch):
+                return
+        while not self.gate.is_set() and not self.output.cancelled():
+            time.sleep(0.005)
+
+
+class FailingNode(QETNode):
+    """Raises mid-execution; the error must surface as a FAILED job."""
+
+    name = "failing"
+
+    def run(self):
+        raise RuntimeError("synthetic node failure")
+
+
+class StubExecutor(Executor):
+    """Executor-protocol backend whose root factory the test controls."""
+
+    kind = "stub"
+
+    def __init__(self, make_root, schema):
+        self.make_root = make_root
+        self.schema = schema
+
+    def prepare(self, text, allow_tag_route=True):
+        return PreparedQuery(text=text, root=self.make_root(text), schema=self.schema)
+
+
+@pytest.fixture()
+def small_batches(photo):
+    return [
+        ObjectTable(photo.schema, photo.data[:50].copy()),
+        ObjectTable(photo.schema, photo.data[50:90].copy()),
+    ]
+
+
+class TestInteractiveLifecycle:
+    def test_runs_immediately_and_completes(self, local_session):
+        job = local_session.submit("SELECT objid FROM photo WHERE mag_r < 18")
+        assert job.state is JobState.RUNNING
+        table = job.cursor.to_table()
+        assert job.state is JobState.DONE
+        assert job.rows == len(table) > 0
+        assert job.time_to_first_row is not None
+        assert job.time_to_first_row <= job.time_to_completion
+
+    def test_per_node_stats_exposed(self, dist_session):
+        job = dist_session.submit("SELECT objid FROM photo WHERE mag_r < 17")
+        job.cursor.to_table()
+        stats = job.node_stats()
+        assert stats
+        assert sum(s.rows_out for s in stats.values()) > 0
+
+    def test_distributed_job_reports_fanout(self, dist_session):
+        job = dist_session.submit("SELECT objid FROM photo WHERE CIRCLE(40, 30, 5)")
+        job.cursor.to_table()
+        assert len(job.reports) == 1
+        assert job.reports[0].servers_total == 3
+
+
+class TestBatchQueueing:
+    def test_fifo_one_at_a_time(self, photo, small_batches):
+        gate = threading.Event()
+        executor = StubExecutor(
+            lambda text: GateNode(small_batches, gate), photo.schema
+        )
+        with Session(executor) as session:
+            job1 = session.submit("q1", query_class="batch")
+            job2 = session.submit("q2", query_class="batch")
+            assert _wait_for(lambda: job1.state is JobState.RUNNING)
+            # Exclusive batch machine: job2 must wait its turn.
+            assert job2.state is JobState.QUEUED
+            gate.set()
+            assert job1.wait(timeout=5) is JobState.DONE
+            assert job2.wait(timeout=5) is JobState.DONE
+            assert len(job1.cursor.to_table()) == 90
+            assert len(job2.cursor.to_table()) == 90
+
+    def test_cancel_queued_job_never_runs(self, photo, small_batches):
+        gate = threading.Event()
+        executor = StubExecutor(
+            lambda text: GateNode(small_batches, gate), photo.schema
+        )
+        with Session(executor) as session:
+            job1 = session.submit("hold", query_class="batch")
+            job2 = session.submit("doomed", query_class="batch")
+            assert _wait_for(lambda: job1.state is JobState.RUNNING)
+            job2.cancel()
+            assert job2.state is JobState.CANCELLED
+            with pytest.raises(JobCancelledError):
+                job2.cursor.to_table()
+            gate.set()
+            assert job1.wait(timeout=5) is JobState.DONE
+            # The dispatcher skipped the cancelled job: it never started.
+            assert job2.rows == 0
+            assert job2.node_stats() == {}
+
+    def test_batch_read_without_wait_delivers_everything(
+        self, photo, small_batches
+    ):
+        # Reading a batch cursor while the dispatcher is still draining
+        # must block until completion and deliver the full result, never
+        # a silent partial prefix.
+        gate = threading.Event()
+        executor = StubExecutor(
+            lambda text: GateNode(small_batches, gate), photo.schema
+        )
+        with Session(executor) as session:
+            job = session.submit("held", query_class="batch")
+            assert _wait_for(lambda: job.state is JobState.RUNNING)
+            # Open the gate shortly *after* the read below has started.
+            threading.Timer(0.2, gate.set).start()
+            table = job.cursor.to_table()  # no wait() first
+            assert len(table) == 90
+            assert job.state is JobState.DONE
+
+    def test_batch_results_delivered_on_completion(self, local_session, engine):
+        query = "SELECT objtype, COUNT(objid) AS n FROM photo GROUP BY objtype"
+        job = local_session.submit(query, query_class="batch")
+        assert job.wait(timeout=10) is JobState.DONE
+        expected = engine.query_table(query)
+        got = job.cursor.to_table()
+        assert got.data.tolist() == expected.data.tolist()
+
+
+class TestFailure:
+    def test_interactive_failure(self, photo):
+        executor = StubExecutor(lambda text: FailingNode(), photo.schema)
+        with Session(executor) as session:
+            job = session.submit("boom")
+            with pytest.raises(ExecutionError):
+                job.cursor.to_table()
+            assert job.state is JobState.FAILED
+            assert job.error is not None
+
+    def test_batch_failure(self, photo):
+        executor = StubExecutor(lambda text: FailingNode(), photo.schema)
+        with Session(executor) as session:
+            job = session.submit("boom", query_class="batch")
+            assert job.wait(timeout=5) is JobState.FAILED
+            assert job.error is not None
+            with pytest.raises(ExecutionError):
+                job.cursor.to_table()
+
+
+class TestSubmissionValidation:
+    def test_unknown_query_class(self, local_session):
+        with pytest.raises(SessionError):
+            local_session.submit("SELECT objid FROM photo", query_class="cosmic")
+
+    def test_closed_session_rejects(self, engine):
+        session = Archive.connect(engine)
+        session.close()
+        with pytest.raises(SessionError):
+            session.submit("SELECT objid FROM photo")
+
+
+class TestSchedulerAccounting:
+    def test_interactive_admits_scan_jobs_per_server(self, dengine):
+        with Archive.connect(dengine) as session:
+            job = session.submit("SELECT objid FROM photo WHERE mag_r < 17")
+            job.cursor.to_table()
+            machines = {mj.machine for mj in job.machine_jobs}
+            assert machines
+            assert all(m.startswith("scan:") for m in machines)
+            touched = set(job.reports[0].touched_server_ids)
+            assert machines == {f"scan:{k}" for k in touched}
+
+    def test_local_interactive_admits_scan(self, engine):
+        with Archive.connect(engine) as session:
+            job = session.submit("SELECT objid FROM photo LIMIT 5")
+            job.cursor.to_table()
+            assert [mj.machine for mj in job.machine_jobs] == ["scan"]
+
+    def test_batch_admits_batch_machine(self, engine):
+        with Archive.connect(engine) as session:
+            job = session.submit(
+                "SELECT objid FROM photo LIMIT 5", query_class="batch"
+            )
+            job.wait(timeout=10)
+            assert [mj.machine for mj in job.machine_jobs] == ["batch"]
+            assert session.scheduler.completed[-1].machine == "batch"
+
+    def test_admit_serializes_batch_across_calls(self):
+        # The stateful admission path: batch jobs admitted one at a time
+        # still serialize FIFO, unlike run() which resets per call.
+        scheduler = MachineScheduler()
+        first = scheduler.admit(MachineJob("b1", "batch", duration=5.0))
+        second = scheduler.admit(MachineJob("b2", "batch", duration=3.0))
+        assert first.completed_at == 5.0
+        assert second.started_at == 5.0
+        assert second.completed_at == 8.0
+        # Scan admission stays interactive: overlaps freely.
+        s1 = scheduler.admit(MachineJob("s1", "scan", duration=9.0, arrival_time=1.0))
+        s2 = scheduler.admit(MachineJob("s2", "scan", duration=9.0, arrival_time=1.0))
+        assert s1.started_at == s2.started_at == 1.0
