@@ -4,7 +4,12 @@ Runs a fixed query corpus through the session API over both backends
 (single-store and a 3-server distributed partitioning of the same
 catalog) and writes time-to-first-row / time-to-completion per query to
 a JSON artifact, so successive PRs can compare the numbers instead of
-guessing.
+guessing.  Each query also records its shared-scan I/O telemetry
+(containers physically read vs. served from the buffer pool vs.
+skipped), and a *concurrent* scenario measures what the shared sweep
+buys: K interactive jobs over one store, with the buffer-pool hit rate,
+sweep sharing factor, and read amplification vs. a single physical
+sweep written alongside the latency numbers.
 
 Run:  PYTHONPATH=src python benchmarks/bench_session.py [--out BENCH_session.json]
 """
@@ -14,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import threading
 import time
 
 from repro import Archive, ContainerStore, SkySimulator, SurveyParameters
@@ -42,6 +48,7 @@ CORPUS = [
 ]
 
 N_SERVERS = 3
+CONCURRENT_JOBS = 4
 CATALOG = SurveyParameters(
     n_galaxies=30000, n_stars=18000, n_quasars=900, seed=20020101
 )
@@ -52,6 +59,7 @@ def _bench_session(session):
     for name, text in CORPUS:
         cursor = session.execute(text)
         table = cursor.to_table()
+        io = cursor.io_report()
         queries[name] = {
             "rows": int(len(table)),
             "time_to_first_row_ms": (
@@ -60,8 +68,60 @@ def _bench_session(session):
                 else round(cursor.time_to_first_row * 1e3, 3)
             ),
             "time_to_completion_ms": round(cursor.time_to_completion * 1e3, 3),
+            "containers_read": io["containers_read"],
+            "containers_from_pool": io["containers_from_pool"],
+            "containers_skipped": io["containers_skipped"],
         }
     return queries
+
+
+def _bench_concurrent(photo):
+    """K concurrent interactive jobs over one fresh store.
+
+    The tentpole scenario: under the old per-query read path this cost
+    ~K physical sweeps; under the shared sweep + buffer pool it must
+    cost less than 1.5 (the artifact records the measured amplification
+    so regressions show up in the trajectory).
+    """
+    # Depth 5: fewer, larger containers — the sharing story is the same
+    # while the scenario stays fast enough for the smoke target.
+    store = ContainerStore.from_table(photo, depth=5)
+    n_containers = len(store.containers)
+    with Archive.connect(stores={"photo": store}) as session:
+        started = time.perf_counter()
+        jobs = [
+            session.submit("SELECT objid, mag_r FROM photo")
+            for _ in range(CONCURRENT_JOBS)
+        ]
+        rows = [0] * CONCURRENT_JOBS
+
+        def drain(index):
+            rows[index] = len(jobs[index].cursor.to_table())
+
+        threads = [
+            threading.Thread(target=drain, args=(k,))
+            for k in range(CONCURRENT_JOBS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - started
+
+    pool = store.buffer_pool.stats
+    sweep = store.sweeper().stats
+    return {
+        "jobs": CONCURRENT_JOBS,
+        "rows_per_job": rows,
+        "wall_ms": round(wall * 1e3, 3),
+        "containers_in_store": n_containers,
+        "containers_physically_read": pool.misses,
+        "read_amplification_vs_single_sweep": round(
+            pool.misses / n_containers, 3
+        ),
+        "buffer_pool_hit_rate": round(pool.hit_rate(), 4),
+        "sweep_sharing_factor": round(sweep.sharing_factor(), 3),
+    }
 
 
 def main():
@@ -90,6 +150,7 @@ def main():
             "local": _bench_session(local),
             "distributed": _bench_session(distributed),
         },
+        "concurrent": _bench_concurrent(photo),
     }
     payload["wall_seconds"] = round(time.perf_counter() - started, 3)
     local.close()
@@ -98,8 +159,12 @@ def main():
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {args.out} ({len(CORPUS)} queries x 2 backends, "
-          f"{payload['wall_seconds']} s)")
+    print(
+        f"wrote {args.out} ({len(CORPUS)} queries x 2 backends + "
+        f"{CONCURRENT_JOBS}-way concurrent scenario, "
+        f"{payload['wall_seconds']} s; concurrent read amplification "
+        f"{payload['concurrent']['read_amplification_vs_single_sweep']}x)"
+    )
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ from repro.distributed.engine import DistributedQueryEngine, DistributedQueryRes
 from repro.distributed.routing import (
     ShardFanoutReport,
     admit_scan_jobs,
+    assign_sweep_servers,
     route_plan,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "DistributedQueryResult",
     "ShardFanoutReport",
     "admit_scan_jobs",
+    "assign_sweep_servers",
     "route_plan",
 ]

@@ -94,8 +94,18 @@ class DistributedQueryEngine:
         Optional per-source :class:`DensityMap` for cost estimates.
     scheduler:
         Optional :class:`~repro.machines.scheduler.MachineScheduler`;
-        when given, every execute admits one interactive scan job per
-        touched server (machine ``scan:<server_id>``).
+        when given, every execute admits one interactive job per touched
+        server on that server's shared sweep machine
+        (``sweep:<server_id>``, replica-adjusted when the archive has a
+        :class:`~repro.storage.replication.ReplicationManager`).
+
+    Physically, each partition server runs *one* shared sweep per
+    hosted store: every shard :class:`~repro.query.qet.ScanNode`
+    subscribes to the server store's
+    :class:`~repro.machines.sweep.SweepScanner`, so concurrent
+    distributed queries share each server's circular read (and its
+    :class:`~repro.storage.buffer.BufferPool`) instead of multiplying
+    physical I/O by the number of in-flight queries.
     """
 
     def __init__(self, archive, density_maps=None, scheduler=None, batch_rows=4096):

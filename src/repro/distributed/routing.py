@@ -11,10 +11,18 @@ hold a matching object.
 The same routing pass prices the fan-out: per-server bytes under the
 cover feed the :class:`~repro.storage.diskmodel.NodeModel` for simulated
 scan seconds ("a prediction of the output data volume and search time
-can be computed from the intersection volume"), and one interactive scan
-job per touched server can be admitted to a
-:class:`~repro.machines.scheduler.MachineScheduler` under the machine
-name ``scan:<server_id>``.
+can be computed from the intersection volume"), and each touched shard's
+sweep is admitted to a
+:class:`~repro.machines.scheduler.MachineScheduler` as a job on the
+shared per-server sweep machine ``sweep:<server_id>`` — one machine per
+store, shared by every concurrent query, per the paper's interactive
+scan policy.
+
+Replication-aware assignment ("Some of the high-traffic data will be
+replicated among servers"): when the archive carries a
+:class:`~repro.storage.replication.ReplicationManager`, each shard's
+sweep is assigned to the *least-loaded replica* of that shard's data;
+a shard whose data has a single copy keeps its sweep on the primary.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.machines.scheduler import Job
 __all__ = [
     "ShardFanoutReport",
     "route_plan",
+    "assign_sweep_servers",
     "scan_jobs_for",
     "admit_scan_jobs",
 ]
@@ -43,6 +52,9 @@ class ShardFanoutReport:
     estimated_bytes_per_server: dict = field(default_factory=dict)
     #: simulated scan seconds, per touched server
     simulated_seconds_per_server: dict = field(default_factory=dict)
+    #: shard server id -> server id chosen to run that shard's sweep
+    #: (differs from the shard id only under replication)
+    sweep_assignments: dict = field(default_factory=dict)
     #: simulated seconds: slowest touched server (shared-nothing parallelism)
     simulated_seconds: float = 0.0
     #: simulated seconds a single server holding everything would need
@@ -70,12 +82,53 @@ def _store_bytes_under(store, candidates):
     )
 
 
+def assign_sweep_servers(touched_ids, replication=None):
+    """Pick the server that runs each touched shard's sweep.
+
+    Consults the :class:`~repro.storage.replication.ReplicationManager`
+    when one is given: a shard whose containers have replicas may have
+    its sweep served by any server holding a copy, and the least-loaded
+    one is chosen (the choice is charged to ``server_load`` so repeated
+    assignments spread).  Without replication — or for shards with no
+    replicated containers — the shard's only copy is its primary, so the
+    sweep stays there.
+
+    Returns ``{shard_server_id: executing_server_id}``.  Note the
+    reproduction keeps container data in process memory, so a replica
+    assignment redirects the *load accounting and machine name*; the
+    rows themselves are read from the primary's resident store.
+    """
+    replica_holders = {}
+    if replication is not None:
+        # One pass over the replica table, grouped by primary — not a
+        # rescan per touched shard.
+        for container_id, extra in replication.replicas.items():
+            primary = replication.primary_for(container_id)
+            replica_holders.setdefault(primary, set()).update(
+                int(s) for s in extra
+            )
+    assignment = {}
+    for shard_id in touched_ids:
+        shard_id = int(shard_id)
+        copies = sorted({shard_id} | replica_holders.get(shard_id, set()))
+        if len(copies) > 1:
+            target = min(copies, key=lambda s: replication.server_load[s])
+            replication.server_load[target] += 1
+        else:
+            target = shard_id
+        assignment[shard_id] = target
+    return assignment
+
+
 def route_plan(archive, routed_source, candidates):
     """Split the archive's servers into (touched, report) for one plan.
 
     ``candidates`` is the cover's candidate :class:`RangeSet` at
     container depth, or ``None`` for a full scan (all servers touched).
-    Pruned servers are recorded but never read.
+    Pruned servers are recorded but never read.  Each touched shard's
+    sweep is assigned to a replica server when the archive has a
+    :class:`~repro.storage.replication.ReplicationManager` attached
+    (``archive.replication``).
     """
     report = ShardFanoutReport(
         source=routed_source, servers_total=len(archive.servers)
@@ -100,6 +153,10 @@ def route_plan(archive, routed_source, candidates):
         report.estimated_bytes_per_server[server.server_id] = nbytes
         report.simulated_seconds_per_server[server.server_id] = seconds
         total_bytes += nbytes
+    report.sweep_assignments = assign_sweep_servers(
+        report.touched_server_ids,
+        replication=getattr(archive, "replication", None),
+    )
     report.simulated_seconds = max(
         report.simulated_seconds_per_server.values(), default=0.0
     )
@@ -110,17 +167,19 @@ def route_plan(archive, routed_source, candidates):
 
 
 def scan_jobs_for(label, report, arrival_time=0.0):
-    """One (unscheduled) interactive scan job per touched server.
+    """One (unscheduled) interactive sweep job per touched shard.
 
-    The single source of the ``scan:<server_id>`` machine-name and
+    The single source of the ``sweep:<server_id>`` machine-name and
     per-server duration convention; both the legacy batch admission
     (:func:`admit_scan_jobs`) and the session layer's stateful
-    admission build their jobs here.
+    admission build their jobs here.  The machine is the *executing*
+    server's shared sweep (the replica assignment), while the duration
+    prices the shard's resident bytes.
     """
     return [
         Job(
             name=f"{label}@server{server_id}",
-            machine=f"scan:{server_id}",
+            machine=f"sweep:{report.sweep_assignments.get(server_id, server_id)}",
             duration=report.simulated_seconds_per_server.get(server_id, 0.0),
             arrival_time=arrival_time,
         )
@@ -129,11 +188,11 @@ def scan_jobs_for(label, report, arrival_time=0.0):
 
 
 def admit_scan_jobs(scheduler, label, report, arrival_time=0.0):
-    """Admit one interactive scan job per touched server.
+    """Admit one interactive sweep job per touched shard.
 
-    Per the paper's policy the scan machines are *interactively*
+    Per the paper's policy the sweep machines are *interactively*
     scheduled — every per-server job starts at its arrival time and
-    overlaps freely with other queries' sweeps.  Returns the scheduled
-    jobs (with times filled in by the scheduler).
+    overlaps freely with other queries riding the same sweep.  Returns
+    the scheduled jobs (with times filled in by the scheduler).
     """
     return scheduler.run(scan_jobs_for(label, report, arrival_time))

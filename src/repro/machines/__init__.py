@@ -20,6 +20,7 @@ numbers for paper-scale datasets.
 """
 
 from repro.machines.streams import BoundedStream, StreamStats
+from repro.machines.sweep import SweepScanner, SweepStats, SweepSubscription
 from repro.machines.scan import ScanMachine, ScanQuery, SweepReport
 from repro.machines.hash import HashMachine, HashReport, PairPredicate
 from repro.machines.river import RiverGraph, RiverReport
@@ -28,6 +29,9 @@ from repro.machines.scheduler import MachineScheduler, Job
 __all__ = [
     "BoundedStream",
     "StreamStats",
+    "SweepScanner",
+    "SweepStats",
+    "SweepSubscription",
     "ScanMachine",
     "ScanQuery",
     "SweepReport",

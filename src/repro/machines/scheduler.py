@@ -9,16 +9,20 @@ that policy: scan jobs are admitted immediately (the scan machine
 piggybacks any number of concurrent predicates on its sweep), while hash
 and river jobs queue FIFO per machine and run exclusively.
 
-Scan machines exist per partition server: a distributed query admits one
-scan job per touched server under the machine name ``scan:<server_id>``
-(bare ``"scan"`` remains the single-store scan machine).  All scan
-machines share the interactive policy — jobs overlap freely — because
-the sweep piggybacks every concurrent predicate.
+Sweep machines exist per store: the session layer admits each
+interactive query as a job on ``sweep:<store>`` (single store) or one
+job per touched partition server on ``sweep:<server_id>`` — one shared
+sweep machine per store, piggybacking every concurrent predicate, not N
+per-query scan machines.  The legacy names ``scan``/``scan:<k>`` stay
+recognized as the same interactive class.  All sweep machines share the
+interactive policy — jobs overlap freely — because the sweep piggybacks
+every concurrent predicate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["Job", "MachineScheduler"]
 
@@ -27,17 +31,17 @@ __all__ = ["Job", "MachineScheduler"]
 class Job:
     """One submitted job.
 
-    ``machine`` is 'scan', 'scan:<server_id>', 'hash' or 'river';
-    ``duration`` is the job's simulated run time (for scan jobs: one
-    full sweep).
+    ``machine`` is 'sweep', 'sweep:<store>', 'hash', 'river' (or the
+    legacy 'scan'/'scan:<server_id>' names); ``duration`` is the job's
+    simulated run time (for sweep jobs: one full sweep).
     """
 
     name: str
     machine: str
     duration: float
     arrival_time: float = 0.0
-    started_at: float = None
-    completed_at: float = None
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
 
     def turnaround(self):
         """Simulated seconds from arrival to completion."""
@@ -49,24 +53,30 @@ class Job:
 class MachineScheduler:
     """Simulated-time admission control for the machine classes.
 
-    Machines come in two policies: the *scan* class (``'scan'`` and
-    per-server ``'scan:<k>'``) is interactively scheduled — jobs overlap
-    freely on the shared sweep — while the *batch* class (``'hash'``,
+    Machines come in two policies: the *sweep* class (``'sweep'`` /
+    ``'sweep:<store>'``, plus the legacy ``'scan'``/``'scan:<k>'``
+    names) is interactively scheduled — jobs overlap freely on the
+    store's one shared sweep — while the *batch* class (``'hash'``,
     ``'river'``, and the session layer's ``'batch'`` query machine)
     serializes FIFO per machine.
     """
 
     BATCH_MACHINES = ("hash", "river", "batch")
 
+    @staticmethod
+    def is_scan_machine(machine):
+        """True for the interactive sweep class: ``'sweep'`` /
+        ``'sweep:<store>'`` (or the legacy ``'scan'``/``'scan:<k>'``)."""
+        return (
+            machine in ("scan", "sweep")
+            or machine.startswith("scan:")
+            or machine.startswith("sweep:")
+        )
+
     def __init__(self):
         self.completed = []
         #: per-batch-machine completion horizon for stateful admission
         self._machine_free_at = {}
-
-    @staticmethod
-    def is_scan_machine(machine):
-        """True for the scan class: ``'scan'`` or a per-server ``'scan:<k>'``."""
-        return machine == "scan" or machine.startswith("scan:")
 
     def _place(self, job, free_at):
         """Shared placement: scan overlaps freely, batch serializes FIFO

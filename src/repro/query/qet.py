@@ -20,7 +20,8 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -141,13 +142,23 @@ class Stream:
 
 @dataclass
 class NodeStats:
-    """Per-node execution counters."""
+    """Per-node execution counters.
+
+    The ``containers_*`` fields are the shared-scan I/O telemetry and
+    are populated by leaf :class:`ScanNode`\\ s only: how many container
+    deliveries required a physical read, how many were served from the
+    store's :class:`~repro.storage.buffer.BufferPool`, and how many the
+    node's HTM pruning skipped without breaking the shared sweep.
+    """
 
     rows_out: int = 0
     batches_out: int = 0
     started_at: float = 0.0
-    first_output_at: float = None
-    finished_at: float = None
+    first_output_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    containers_read: int = 0
+    containers_from_pool: int = 0
+    containers_skipped: int = 0
 
     def note_batch(self, rows):
         now = time.perf_counter()
@@ -216,11 +227,18 @@ class QETNode:
 
 
 class ScanNode(QETNode):
-    """Leaf query node: reads a container store through the spatial index.
+    """Leaf query node: a subscriber of the store's shared sweep.
 
-    ``plan`` is a :class:`~repro.query.optimizer.QueryPlan`; batches are
-    emitted per container, as soon as each container is filtered — the
-    user sees rows while the scan is still running.
+    ``plan`` is a :class:`~repro.query.optimizer.QueryPlan`.  The node
+    does no container I/O of its own: it subscribes to the store's
+    :class:`~repro.machines.sweep.SweepScanner` — one circular read
+    path shared by every concurrent scan of the store — and applies its
+    own predicate and HTM cover classification to each delivered
+    container.  Pruned trixel ranges (the cover's candidate set) are
+    declared on the subscription, so this query skips containers it
+    cannot match without breaking the shared sweep for other queries.
+    Batches are emitted per container, as soon as each container is
+    filtered — the user sees rows while the scan is still running.
     """
 
     name = "scan"
@@ -234,47 +252,52 @@ class ScanNode(QETNode):
         #: distributed executor computes the cover once and shares it
         #: across every shard scan instead of re-covering per server.
         self.coverage = coverage
+        #: the node's SweepSubscription while running (I/O telemetry)
+        self.subscription = None
 
     def run(self):
         predicate = self.plan.predicate
         region = self.plan.region
+        inside = partial = None
+        candidates = None
         if region is not None:
-            iterator = self._scan_with_index(region, predicate)
-        else:
-            iterator = self._scan_all(predicate)
-        for batch in iterator:
-            for piece in batch.iter_chunks(self.batch_rows):
-                if not self._emit(piece.take(slice(None))):
+            from repro.htm.cover import cover_region
+
+            coverage = self.coverage
+            if coverage is None:
+                coverage = cover_region(region, self.store.depth)
+            inside, partial = coverage.inside, coverage.partial
+            candidates = coverage.candidates()
+        subscription = self.store.sweeper().subscribe(candidates=candidates)
+        self.subscription = subscription
+        try:
+            for htm_id, table, _from_pool in subscription:
+                if self.output.cancelled():
                     return
-
-    def _scan_with_index(self, region, predicate):
-        from repro.htm.cover import cover_region
-
-        coverage = self.coverage
-        if coverage is None:
-            coverage = cover_region(region, self.store.depth)
-        for htm_id, container in self.store.containers.items():
-            if self.output.cancelled():
-                return
-            if coverage.inside.contains(htm_id):
-                mask = predicate(container.table)
-            elif coverage.partial.contains(htm_id):
-                mask = region.contains(container.table.positions_xyz())
-                mask &= predicate(container.table)
-            else:
-                continue
-            selected = container.table.select(np.asarray(mask, dtype=bool))
-            if len(selected):
-                yield selected
-
-    def _scan_all(self, predicate):
-        for container in self.store.containers.values():
-            if self.output.cancelled():
-                return
-            mask = np.asarray(predicate(container.table), dtype=bool)
-            selected = container.table.select(mask)
-            if len(selected):
-                yield selected
+                if region is not None:
+                    if inside.contains(htm_id):
+                        mask = predicate(table)
+                    elif partial.contains(htm_id):
+                        mask = region.contains(table.positions_xyz())
+                        mask &= predicate(table)
+                    else:  # outside the cover: unreachable via candidates
+                        continue
+                else:
+                    mask = predicate(table)
+                selected = table.select(np.asarray(mask, dtype=bool))
+                if len(selected) == 0:
+                    continue
+                for piece in selected.iter_chunks(self.batch_rows):
+                    if not self._emit(piece.take(slice(None))):
+                        return
+        finally:
+            # Leave the sweep (a finished subscription is already gone;
+            # an early exit must not keep receiving) and fold the I/O
+            # telemetry into the node stats.
+            subscription.cancel()
+            self.stats.containers_read += subscription.physical_reads()
+            self.stats.containers_from_pool += subscription.from_pool
+            self.stats.containers_skipped += subscription.skipped
 
 
 class ProjectNode(QETNode):

@@ -122,6 +122,54 @@ class Job:
         """Per-QET-node execution counters (empty before start)."""
         return {} if self._result is None else self._result.node_stats()
 
+    def io_report(self):
+        """Shared-scan I/O telemetry for this job.
+
+        The ``containers_*`` counters are job-scoped (summed over the
+        job's scan nodes): physically-read vs. served-from-pool vs.
+        pruned-and-skipped container deliveries.
+        ``sweep_sharing_factor`` and ``buffer_pool_hit_rate`` describe
+        the *store-lifetime* behavior of the sweeps and pools this job
+        rode — a shared physical read cannot be attributed to one job,
+        so sharing is reported where it happens, at the store.
+        """
+        report = {
+            "containers_read": 0,
+            "containers_from_pool": 0,
+            "containers_skipped": 0,
+            "sweep_sharing_factor": None,
+            "buffer_pool_hit_rate": None,
+        }
+        if self._result is None:
+            return report
+        sweepers = []
+        pools = []
+        for node, stats in self._result.node_stats().items():
+            report["containers_read"] += stats.containers_read
+            report["containers_from_pool"] += stats.containers_from_pool
+            report["containers_skipped"] += stats.containers_skipped
+            store = getattr(node, "store", None)
+            if store is None:
+                continue
+            sweeper = store.sweeper()
+            if sweeper not in sweepers:
+                sweepers.append(sweeper)
+            if store.buffer_pool not in pools:
+                pools.append(store.buffer_pool)
+        if sweepers:
+            swept = sum(s.stats.containers_swept for s in sweepers)
+            delivered = sum(s.stats.deliveries for s in sweepers)
+            report["sweep_sharing_factor"] = (
+                delivered / swept if swept else 1.0
+            )
+        if pools:
+            accesses = sum(p.stats.accesses() for p in pools)
+            hits = sum(p.stats.hits for p in pools)
+            report["buffer_pool_hit_rate"] = (
+                hits / accesses if accesses else 0.0
+            )
+        return report
+
     def __repr__(self):
         return (
             f"Job({self.job_id!r}, {self.query_class}, "
@@ -349,12 +397,17 @@ class Session:
     def _admit(self, job):
         """Simulated-scheduler accounting for one submission.
 
-        Interactive queries admit one scan job per touched server (the
-        scan machines are interactively scheduled: overlap freely);
-        batch queries admit one job on the exclusive FIFO ``batch``
-        machine — the paper's priority split.  All times stay in the
-        scheduler's *simulated* clock (arrival 0.0, like the legacy
-        admission paths), so turnaround statistics keep coherent units.
+        Interactive queries ride the *shared sweep machines*: one job on
+        ``sweep:<store>`` per distinct routed source (single-store
+        backends) or per touched partition server (distributed
+        backends).  There is one sweep machine per store — every
+        concurrent query piggybacks the same sweep, so admission is
+        interactive (jobs overlap freely), not N per-query scan
+        machines.  Batch queries admit one job on the exclusive FIFO
+        ``batch`` machine — the paper's priority split.  All times stay
+        in the scheduler's *simulated* clock (arrival 0.0, like the
+        legacy admission paths), so turnaround statistics keep coherent
+        units.
         """
         label = " ".join(job.text.split())[:40]
         if job.query_class == "batch":
@@ -373,11 +426,14 @@ class Session:
                 for machine_job in scan_jobs_for(label, report):
                     job.machine_jobs.append(self.scheduler.admit(machine_job))
         else:
-            job.machine_jobs.append(
-                self.scheduler.admit(
-                    MachineJob(name=label, machine="scan", duration=0.0)
+            sources = list(dict.fromkeys(job._prepared.sources)) or [None]
+            for source in sources:
+                machine = "sweep" if source is None else f"sweep:{source}"
+                job.machine_jobs.append(
+                    self.scheduler.admit(
+                        MachineJob(name=label, machine=machine, duration=0.0)
+                    )
                 )
-            )
 
     def _dispatch_batches(self):
         """Batch machine: run queued jobs exclusively, FIFO.

@@ -79,6 +79,10 @@ class Cursor:
         result = self._job._result
         return {} if result is None else result.node_stats()
 
+    def io_report(self):
+        """Shared-scan I/O telemetry (see :meth:`Job.io_report`)."""
+        return self._job.io_report()
+
     # ------------------------------------------------------------------
     # consumption
     # ------------------------------------------------------------------

@@ -51,12 +51,18 @@ class PreparedQuery:
     reports:
         One :class:`~repro.distributed.routing.ShardFanoutReport` per
         SELECT for distributed backends; empty for single-store ones.
+    sources:
+        The routed physical source of every SELECT (e.g. ``['tag']``
+        after tag routing) — the stores whose shared sweeps this query
+        rides; the session admits one ``sweep:<source>`` machine job per
+        distinct source for single-store backends.
     """
 
     text: str
     root: object
     schema: object = None
     reports: list = field(default_factory=list)
+    sources: list = field(default_factory=list)
 
     def simulated_seconds(self):
         """Total simulated scan seconds across the fan-out (0.0 when the
@@ -83,10 +89,15 @@ class LocalExecutor(Executor):
         self.engine = engine
 
     def prepare(self, text, allow_tag_route=True):
-        root, schema, _plans = self.engine.prepare(
+        root, schema, plans = self.engine.prepare(
             text, allow_tag_route=allow_tag_route
         )
-        return PreparedQuery(text=text, root=root, schema=schema)
+        return PreparedQuery(
+            text=text,
+            root=root,
+            schema=schema,
+            sources=[plan.routed_source for plan in plans],
+        )
 
 
 class DistributedExecutor(Executor):
@@ -103,5 +114,9 @@ class DistributedExecutor(Executor):
             text, allow_tag_route=allow_tag_route
         )
         return PreparedQuery(
-            text=text, root=root, schema=schema, reports=reports
+            text=text,
+            root=root,
+            schema=schema,
+            reports=reports,
+            sources=[report.source for report in reports],
         )

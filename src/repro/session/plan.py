@@ -82,6 +82,8 @@ def _scan_detail(node):
         detail["spatial_index"] = True
     if plan.estimate is not None:
         detail["predicted_rows"] = plan.estimate.predicted_result_count
+    # Every scan rides its store's one shared sweep machine.
+    detail["sweep"] = f"sweep:{plan.routed_source}"
     return detail
 
 

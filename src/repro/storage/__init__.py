@@ -10,6 +10,7 @@ plus an explicit simulated-time I/O cost model
 reports (150 MB/s per node, 3 GB/s aggregate, 2-minute full scans).
 """
 
+from repro.storage.buffer import BufferPool, BufferPoolStats
 from repro.storage.containers import Container, ContainerStore, QueryStats
 from repro.storage.database import Database
 from repro.storage.partition import Partitioner, PartitionMap
@@ -29,6 +30,8 @@ from repro.storage.cluster import (
 )
 
 __all__ = [
+    "BufferPool",
+    "BufferPoolStats",
     "Container",
     "ContainerStore",
     "QueryStats",

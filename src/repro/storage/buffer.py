@@ -1,0 +1,179 @@
+"""The buffer pool: every container read flows through here.
+
+*"Our simplest approach is to run a scan machine that continuously scans
+the dataset"* — and the follow-up systems (the Grid and SkyServer papers)
+make the complementary point: a multi-terabyte archive serves heavy
+interactive traffic only when hot containers stay cached and concurrent
+scans share physical reads.  :class:`BufferPool` is the single sanctioned
+read path for containers: a byte-budgeted LRU over container tables with
+hit/miss/eviction accounting, so every layer above it (sweep scanner,
+query nodes, region queries) shares one notion of "physically read" vs.
+"served from memory".
+
+The pool caches *references* to the container tables (the reproduction
+keeps its dataset in process memory), so the LRU budget models a disk
+cache rather than duplicating data: a miss is a simulated physical read,
+a hit is a page already resident.  Entries are validated by identity
+against the live container table, so a container mutated by the loader
+(``Container.append`` replaces the table object) can never be served
+stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BufferPool", "BufferPoolStats"]
+
+
+@dataclass
+class BufferPoolStats:
+    """Accounting for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: bytes physically read (misses)
+    bytes_read: int = 0
+    #: bytes served out of the pool (hits)
+    bytes_from_pool: int = 0
+
+    def accesses(self):
+        """Total reads answered by the pool."""
+        return self.hits + self.misses
+
+    def hit_rate(self):
+        """Fraction of reads served without a physical read."""
+        total = self.accesses()
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class BufferPool:
+    """Byte-budgeted LRU cache of container tables.
+
+    Parameters
+    ----------
+    byte_budget:
+        Maximum resident bytes, or ``None`` for an unbounded pool (the
+        default: the reproduction's datasets fit in memory, so the whole
+        store becomes hot after one sweep — exactly the regime the
+        SkyServer follow-up describes for its cached hot containers).
+
+    Keys are ``(store_token, htm_id)`` so one pool may be shared by
+    several stores (e.g. every source hosted on one partition server)
+    without id collisions.  All methods are thread-safe: the pool sits
+    under concurrent sweep threads and direct query paths.
+    """
+
+    def __init__(self, byte_budget: Optional[int] = None):
+        if byte_budget is not None and byte_budget < 0:
+            raise ValueError("byte_budget must be non-negative or None")
+        self.byte_budget = byte_budget
+        self.stats = BufferPoolStats()
+        self._lock = threading.Lock()
+        #: key -> (table, nbytes), in LRU order (oldest first)
+        self._entries = OrderedDict()
+        self._resident_bytes = 0
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+
+    def fetch(self, store, container):
+        """Read one container through the pool.
+
+        Returns ``(table, from_pool)``: the container's table and whether
+        it was served from the pool (hit) or physically read (miss).
+        """
+        with self._lock:
+            return self._fetch_locked(store, container)
+
+    def fetch_many(self, store, containers):
+        """Read a run of containers under one lock acquisition.
+
+        The sweep scanner's batched read path; returns a list of
+        ``(table, from_pool)`` in input order.
+        """
+        with self._lock:
+            return [self._fetch_locked(store, c) for c in containers]
+
+    def _fetch_locked(self, store, container):
+        key = (id(store), container.htm_id)
+        table = container.table
+        entry = self._entries.get(key)
+        if entry is not None:
+            cached, nbytes = entry
+            if cached is table:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.bytes_from_pool += nbytes
+                return table, True
+            # The container was mutated since it was cached; the old
+            # pages are worthless.
+            self._drop(key)
+            self.stats.invalidations += 1
+        nbytes = container.nbytes()
+        self.stats.misses += 1
+        self.stats.bytes_read += nbytes
+        self._entries[key] = (table, nbytes)
+        self._resident_bytes += nbytes
+        self._evict_over_budget()
+        return table, False
+
+    def contains(self, store, htm_id):
+        """True if the container is currently resident (no LRU touch)."""
+        with self._lock:
+            return (id(store), int(htm_id)) in self._entries
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+
+    def _drop(self, key):
+        _table, nbytes = self._entries.pop(key)
+        self._resident_bytes -= nbytes
+
+    def _evict_over_budget(self):
+        if self.byte_budget is None:
+            return
+        while self._resident_bytes > self.byte_budget and self._entries:
+            _key, (_table, nbytes) = self._entries.popitem(last=False)
+            self._resident_bytes -= nbytes
+            self.stats.evictions += 1
+
+    def invalidate(self, store, htm_id=None):
+        """Forget one container, or every container of a store."""
+        with self._lock:
+            if htm_id is not None:
+                key = (id(store), int(htm_id))
+                if key in self._entries:
+                    self._drop(key)
+                    self.stats.invalidations += 1
+                return
+            token = id(store)
+            for key in [k for k in self._entries if k[0] == token]:
+                self._drop(key)
+                self.stats.invalidations += 1
+
+    def resident_bytes(self):
+        """Bytes currently held by the pool."""
+        with self._lock:
+            return self._resident_bytes
+
+    def resident_containers(self):
+        """Number of containers currently resident."""
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self):
+        return (
+            f"BufferPool(budget={self.byte_budget}, "
+            f"resident={self.resident_containers()}, "
+            f"hit_rate={self.stats.hit_rate():.2f})"
+        )

@@ -138,6 +138,9 @@ class DistributedArchive:
             for k in range(n_servers)
         ]
         self.partition_map = self.partitioner.build({}, n_servers)
+        #: optional ReplicationManager consulted by the distributed
+        #: router to spread shard sweeps across replicas
+        self.replication = None
 
     @classmethod
     def from_table(cls, table, depth, n_servers, node_model=PAPER_NODE, source="photo"):
@@ -170,6 +173,24 @@ class DistributedArchive:
             owner = self.servers[self.partition_map.server_for(htm_id)]
             owner.extra_stores[name].get_or_create(htm_id).append(container.table)
 
+    def enable_replication(self, replication_factor=2, hot_fraction=0.05):
+        """Attach a :class:`~repro.storage.replication.ReplicationManager`.
+
+        Once attached, the distributed router
+        (:func:`~repro.distributed.routing.assign_sweep_servers`)
+        consults it and assigns each shard's sweep to the least-loaded
+        replica of that shard's data.  Returns the manager so callers
+        can record accesses and trigger ``rebalance()``.
+        """
+        from repro.storage.replication import ReplicationManager
+
+        self.replication = ReplicationManager(
+            self.partition_map,
+            replication_factor=replication_factor,
+            hot_fraction=hot_fraction,
+        )
+        return self.replication
+
     # ------------------------------------------------------------------
     # loading and rebalancing
     # ------------------------------------------------------------------
@@ -182,12 +203,20 @@ class DistributedArchive:
         """
         staging = ContainerStore.from_table(table, self.depth)
         weights = self._combined_weights(staging)
-        self.partition_map = self.partitioner.build(weights, len(self.servers))
+        self._set_partition_map(self.partitioner.build(weights, len(self.servers)))
         # Re-place any containers whose owner changed, then add new data.
         self._replace_misplaced()
         for htm_id, container in staging.containers.items():
             owner = self.servers[self.partition_map.server_for(htm_id)]
             owner.store.get_or_create(htm_id).append(container.table)
+
+    def _set_partition_map(self, partition_map):
+        """Install a rebuilt map, keeping the replication manager's view
+        of container ownership current (replica placements keyed by
+        container id stay valid; primaries are re-derived per lookup)."""
+        self.partition_map = partition_map
+        if self.replication is not None:
+            self.replication.partition_map = partition_map
 
     def _combined_weights(self, staging=None):
         weights = {}
@@ -232,8 +261,8 @@ class DistributedArchive:
             for name, schema in self.extra_schemas.items():
                 server.attach_store(name, ContainerStore(schema, self.depth))
             self.servers.append(server)
-        self.partition_map = self.partitioner.build(
-            self._combined_weights(), len(self.servers)
+        self._set_partition_map(
+            self.partitioner.build(self._combined_weights(), len(self.servers))
         )
         return self._replace_misplaced()
 

@@ -16,13 +16,14 @@ how much work each category caused.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.catalog.table import ObjectTable
 from repro.htm.cover import cover_region
 from repro.htm.mesh import depth_id_bounds, lookup_ids_from_vectors
+from repro.storage.buffer import BufferPool
 
 __all__ = ["Container", "ContainerStore", "QueryStats"]
 
@@ -35,6 +36,8 @@ class QueryStats:
     containers_accepted: int = 0
     containers_bisected: int = 0
     containers_rejected: int = 0
+    #: containers whose bytes came out of the buffer pool, not off disk
+    containers_from_pool: int = 0
     objects_accepted_wholesale: int = 0
     objects_point_tested: int = 0
     objects_returned: int = 0
@@ -70,18 +73,29 @@ class Container:
 
 
 class ContainerStore:
-    """All containers of one catalog at a fixed container depth."""
+    """All containers of one catalog at a fixed container depth.
 
-    def __init__(self, schema, depth):
+    Every read of a container's rows goes through the store's
+    :class:`~repro.storage.buffer.BufferPool` (:meth:`read_container`),
+    and every full scan goes through the store's shared
+    :class:`~repro.machines.sweep.SweepScanner` (:meth:`sweeper`) — the
+    two halves of the shared-scan I/O layer.  A pool may be shared
+    between stores (e.g. all sources of one partition server) by passing
+    ``buffer_pool``.
+    """
+
+    def __init__(self, schema, depth, buffer_pool=None):
         self.schema = schema
         self.depth = int(depth)
         self._lo, self._hi = depth_id_bounds(self.depth)
         self.containers = {}
+        self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
+        self._sweeper = None
 
     @classmethod
-    def from_table(cls, table, depth):
+    def from_table(cls, table, depth, buffer_pool=None):
         """Cluster a table into a store (one pass, vectorized grouping)."""
-        store = cls(table.schema, depth)
+        store = cls(table.schema, depth, buffer_pool=buffer_pool)
         if len(table) == 0:
             return store
         ids = store.container_ids_for(table)
@@ -120,6 +134,34 @@ class ContainerStore:
         return self.containers[htm_id]
 
     # ------------------------------------------------------------------
+    # the shared-scan read path
+    # ------------------------------------------------------------------
+
+    def read_container(self, htm_id):
+        """Read one container's rows through the buffer pool.
+
+        The *only* sanctioned way to get at a container's table: returns
+        ``(table, from_pool)`` where ``from_pool`` says whether the bytes
+        were already resident (hit) or physically read (miss).
+        """
+        return self.buffer_pool.fetch(self, self.containers[int(htm_id)])
+
+    def sweeper(self):
+        """The store's shared sweep scanner (created lazily).
+
+        All concurrent full/indexed scans of this store subscribe to this
+        one :class:`~repro.machines.sweep.SweepScanner`, so N queries
+        share one circular sweep instead of issuing N independent reads.
+        """
+        if self._sweeper is None:
+            # Imported here: storage must stay importable without the
+            # machines package (which imports the query layer).
+            from repro.machines.sweep import SweepScanner
+
+            self._sweeper = SweepScanner(self)
+        return self._sweeper
+
+    # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
 
@@ -140,23 +182,27 @@ class ContainerStore:
 
         for htm_id, container in self.containers.items():
             if coverage.inside.contains(htm_id):
+                table, from_pool = self.read_container(htm_id)
                 stats.containers_accepted += 1
+                stats.containers_from_pool += int(from_pool)
                 stats.objects_accepted_wholesale += len(container)
                 stats.bytes_touched += container.nbytes()
-                selected = container.table
+                selected = table
                 if extra_mask_fn is not None:
                     mask = np.asarray(extra_mask_fn(selected), dtype=bool)
                     selected = selected.select(mask)
                 if len(selected):
                     pieces.append(selected)
             elif coverage.partial.contains(htm_id):
+                table, from_pool = self.read_container(htm_id)
                 stats.containers_bisected += 1
+                stats.containers_from_pool += int(from_pool)
                 stats.objects_point_tested += len(container)
                 stats.bytes_touched += container.nbytes()
-                mask = region.contains(container.table.positions_xyz())
+                mask = region.contains(table.positions_xyz())
                 if extra_mask_fn is not None:
-                    mask &= np.asarray(extra_mask_fn(container.table), dtype=bool)
-                selected = container.table.select(mask)
+                    mask &= np.asarray(extra_mask_fn(table), dtype=bool)
+                selected = table.select(mask)
                 if len(selected):
                     pieces.append(selected)
             else:
@@ -178,10 +224,11 @@ class ContainerStore:
         stats = QueryStats(containers_total=len(self.containers))
         pieces = []
         for container in self.containers.values():
+            table, from_pool = self.read_container(container.htm_id)
             stats.containers_bisected += 1
+            stats.containers_from_pool += int(from_pool)
             stats.objects_point_tested += len(container)
             stats.bytes_touched += container.nbytes()
-            table = container.table
             if mask_fn is not None:
                 table = table.select(np.asarray(mask_fn(table), dtype=bool))
             if len(table):

@@ -1,10 +1,10 @@
-"""Per-server scan admission: distributed queries and the machine scheduler.
+"""Per-server sweep admission: distributed queries and the machine scheduler.
 
 The paper's policy — "the scan machine will be interactively scheduled"
-— extends to the fleet: each partition server is its own scan machine
-(``scan:<server_id>``), every distributed query admits one scan job per
-*touched* server, and scan jobs overlap freely while hash/river batch
-jobs still serialize.
+— extends to the fleet: each partition server runs one shared sweep
+machine (``sweep:<server_id>``), every distributed query admits one job
+per *touched* server on that server's sweep, and sweep jobs overlap
+freely while hash/river batch jobs still serialize.
 """
 
 import pytest
@@ -14,22 +14,26 @@ from repro.machines.scheduler import Job, MachineScheduler
 
 
 class TestScanMachineNaming:
-    def test_per_server_names_are_scan_class(self):
+    def test_per_server_names_are_sweep_class(self):
+        assert MachineScheduler.is_scan_machine("sweep")
+        assert MachineScheduler.is_scan_machine("sweep:0")
+        assert MachineScheduler.is_scan_machine("sweep:photo")
+        # Legacy names stay recognized as the same interactive class.
         assert MachineScheduler.is_scan_machine("scan")
-        assert MachineScheduler.is_scan_machine("scan:0")
         assert MachineScheduler.is_scan_machine("scan:17")
         assert not MachineScheduler.is_scan_machine("hash")
         assert not MachineScheduler.is_scan_machine("river")
 
-    def test_per_server_scan_jobs_overlap(self):
+    def test_per_server_sweep_jobs_overlap(self):
         scheduler = MachineScheduler()
         jobs = scheduler.run(
             [
-                Job("q1", "scan:0", duration=10.0, arrival_time=0.0),
-                Job("q2", "scan:0", duration=10.0, arrival_time=1.0),
+                Job("q1", "sweep:0", duration=10.0, arrival_time=0.0),
+                Job("q2", "sweep:0", duration=10.0, arrival_time=1.0),
             ]
         )
-        # Interactive admission: the second job does not wait for the first.
+        # Interactive admission: the second job does not wait for the
+        # first — both queries ride the same shared sweep.
         assert jobs[1].started_at == 1.0
 
     def test_batch_machines_still_serialize(self):
@@ -56,7 +60,7 @@ class TestDistributedAdmission:
         report = result.report
         machines = sorted(job.machine for job in scheduler.completed)
         assert machines == sorted(
-            f"scan:{server_id}" for server_id in report.touched_server_ids
+            f"sweep:{server_id}" for server_id in report.touched_server_ids
         )
         for job in scheduler.completed:
             assert job.completed_at is not None

@@ -1,0 +1,208 @@
+"""Tests for repro.machines.sweep: the shared sweep scanner."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.htm import RangeSet
+from repro.machines.sweep import SweepScanner
+from repro.storage import ContainerStore
+
+
+@pytest.fixture()
+def store(photo):
+    """A fresh store (own pool, own sweeper) over the shared catalog."""
+    return ContainerStore.from_table(photo, depth=2)
+
+
+def _drain(subscription, out):
+    for htm_id, table, from_pool in subscription:
+        out.append((htm_id, len(table), from_pool))
+
+
+class TestSingleSubscriber:
+    def test_sees_every_container_exactly_once_in_sorted_order(self, store):
+        subscription = store.sweeper().subscribe()
+        delivered = [htm_id for htm_id, _t, _p in subscription]
+        assert delivered == store.occupied_ids()
+        assert subscription.completed()
+        assert subscription.delivered == len(store.containers)
+        assert subscription.skipped == 0
+
+    def test_sequential_subscribers_get_identical_order(self, store):
+        first = [h for h, _t, _p in store.sweeper().subscribe()]
+        second = [h for h, _t, _p in store.sweeper().subscribe()]
+        assert first == second == store.occupied_ids()
+
+    def test_second_pass_served_from_pool(self, store):
+        list(store.sweeper().subscribe())
+        subscription = store.sweeper().subscribe()
+        flags = [from_pool for _h, _t, from_pool in subscription]
+        assert all(flags)
+        assert subscription.physical_reads() == 0
+        assert store.buffer_pool.stats.misses == len(store.containers)
+
+    def test_empty_store_completes_immediately(self, photo):
+        empty = ContainerStore(photo.schema, 2)
+        subscription = empty.sweeper().subscribe()
+        assert subscription.done
+        assert list(subscription) == []
+
+
+class TestPrunedSubscriber:
+    def test_candidates_restrict_deliveries_without_breaking_completion(
+        self, store
+    ):
+        ids = store.occupied_ids()
+        keep = RangeSet.from_ids(ids[: len(ids) // 3])
+        subscription = store.sweeper().subscribe(candidates=keep)
+        delivered = [h for h, _t, _p in subscription]
+        assert delivered == ids[: len(ids) // 3]
+        assert subscription.completed()
+        assert subscription.skipped == len(ids) - len(delivered)
+        assert subscription.seen == len(ids)
+
+    def test_unwanted_containers_are_never_read(self, store):
+        ids = store.occupied_ids()
+        keep = RangeSet.from_ids(ids[:2])
+        scanner = store.sweeper()
+        list(scanner.subscribe(candidates=keep))
+        # A lone pruned subscriber must not cause physical reads outside
+        # its candidate set (the old per-query pruning perf).
+        assert store.buffer_pool.stats.misses == 2
+        assert scanner.stats.containers_skipped == len(ids) - 2
+
+
+class TestSharedSweep:
+    def test_concurrent_subscribers_share_physical_reads(self, store):
+        scanner = store.sweeper()
+        scanner.throttle = 0.002  # slow the sweep so both genuinely overlap
+        n = len(store.containers)
+        first = scanner.subscribe()
+        second = scanner.subscribe()
+        out_first, out_second = [], []
+        threads = [
+            threading.Thread(target=_drain, args=(first, out_first)),
+            threading.Thread(target=_drain, args=(second, out_second)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        scanner.throttle = 0.0
+        # Each query saw every container exactly once...
+        assert sorted(h for h, _r, _p in out_first) == store.occupied_ids()
+        assert sorted(h for h, _r, _p in out_second) == store.occupied_ids()
+        # ...but the store was physically read once, not twice.
+        assert store.buffer_pool.stats.misses == n
+        assert scanner.stats.deliveries == 2 * n
+        assert scanner.stats.sharing_factor() > 1.0
+
+    def test_midsweep_join_starts_at_current_position_and_wraps(self, store):
+        scanner = store.sweeper()
+        scanner.throttle = 0.002
+        n = len(store.containers)
+        first = scanner.subscribe()
+        collected = []
+        drainer = threading.Thread(target=_drain, args=(first, collected))
+        drainer.start()
+        deadline = time.time() + 10
+        while first.seen < 3 and time.time() < deadline:
+            time.sleep(0.002)
+        late = scanner.subscribe()
+        assert late.start_position > 0, "joined mid-sweep"
+        seen_by_late = [h for h, _t, _p in late]
+        drainer.join(timeout=30)
+        scanner.throttle = 0.0
+        # Wrap-around completion: every container exactly once, starting
+        # at the join position.
+        assert sorted(seen_by_late) == store.occupied_ids()
+        assert len(seen_by_late) == n
+        order = store.occupied_ids()
+        expected = order[late.start_position:] + order[: late.start_position]
+        assert seen_by_late == expected
+
+    def test_cancelled_subscriber_is_dropped(self, store):
+        scanner = store.sweeper()
+        scanner.throttle = 0.002
+        subscription = scanner.subscribe()
+        iterator = iter(subscription)
+        next(iterator)
+        subscription.cancel()
+        deadline = time.time() + 10
+        while scanner.active_subscriptions() and time.time() < deadline:
+            time.sleep(0.005)
+        scanner.throttle = 0.0
+        assert scanner.active_subscriptions() == 0
+
+
+class TestRobustness:
+    def test_sweep_failure_surfaces_to_consumers_instead_of_hanging(self, store):
+        from repro.query.errors import ExecutionError
+
+        scanner = store.sweeper()
+
+        class Poisoned:
+            def contains(self, _htm_id):
+                raise RuntimeError("boom")
+
+        subscription = scanner.subscribe(candidates=Poisoned())
+        with pytest.raises(ExecutionError, match="boom"):
+            list(subscription)
+        # The sweep recovered: later subscribers are served normally.
+        healthy = [h for h, _t, _p in scanner.subscribe()]
+        assert healthy == store.occupied_ids()
+
+    def test_containers_added_under_active_sweep_reach_new_subscribers(
+        self, photo
+    ):
+        # Depth 4 leaves unoccupied trixels to grow into.
+        store = ContainerStore.from_table(photo, depth=4)
+        scanner = store.sweeper()
+        scanner.throttle = 0.002  # keep the first subscription mid-lap
+        first = scanner.subscribe()
+        out = []
+        drainer = threading.Thread(target=_drain, args=(first, out))
+        drainer.start()
+        deadline = time.time() + 10
+        while first.seen < 2 and time.time() < deadline:
+            time.sleep(0.002)
+        # Grow the store while the sweep is active (never idle).
+        new_id = next(
+            htm_id
+            for htm_id in range(store._lo, store._hi)
+            if htm_id not in store.containers
+        )
+        store.get_or_create(new_id).append(photo.take(np.arange(5)))
+        late = scanner.subscribe()
+        seen_by_late = {h for h, _t, _p in late}
+        drainer.join(timeout=30)
+        scanner.throttle = 0.0
+        assert new_id in seen_by_late
+        assert len(seen_by_late) == len(store.containers)
+
+
+class TestManualMode:
+    def test_attach_and_step_drive_a_synchronous_sink(self, store):
+        scanner = SweepScanner(store)
+        got = []
+        subscription = scanner.attach(
+            sink=lambda htm_id, table, from_pool: got.append(htm_id)
+        )
+        steps = 0
+        while not subscription.done:
+            report = scanner.step()
+            assert report is not None
+            steps += 1
+        assert got == store.occupied_ids()
+        assert steps == len(store.containers)
+        assert scanner.step() is None  # idle sweep has nothing to do
+
+    def test_sink_false_means_cancel(self, store):
+        scanner = SweepScanner(store)
+        subscription = scanner.attach(sink=lambda *_args: False)
+        scanner.step()
+        assert subscription.done
+        assert scanner.active_subscriptions() == 0

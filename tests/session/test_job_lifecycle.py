@@ -207,21 +207,23 @@ class TestSubmissionValidation:
 
 
 class TestSchedulerAccounting:
-    def test_interactive_admits_scan_jobs_per_server(self, dengine):
+    def test_interactive_admits_sweep_jobs_per_server(self, dengine):
         with Archive.connect(dengine) as session:
             job = session.submit("SELECT objid FROM photo WHERE mag_r < 17")
             job.cursor.to_table()
             machines = {mj.machine for mj in job.machine_jobs}
             assert machines
-            assert all(m.startswith("scan:") for m in machines)
+            assert all(m.startswith("sweep:") for m in machines)
             touched = set(job.reports[0].touched_server_ids)
-            assert machines == {f"scan:{k}" for k in touched}
+            assert machines == {f"sweep:{k}" for k in touched}
 
-    def test_local_interactive_admits_scan(self, engine):
+    def test_local_interactive_admits_shared_sweep(self, engine):
         with Archive.connect(engine) as session:
             job = session.submit("SELECT objid FROM photo LIMIT 5")
             job.cursor.to_table()
-            assert [mj.machine for mj in job.machine_jobs] == ["scan"]
+            # One job on the routed store's shared sweep machine — the
+            # objid-only select tag-routes, so it rides the tag sweep.
+            assert [mj.machine for mj in job.machine_jobs] == ["sweep:tag"]
 
     def test_batch_admits_batch_machine(self, engine):
         with Archive.connect(engine) as session:

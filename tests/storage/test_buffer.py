@@ -1,0 +1,146 @@
+"""Tests for repro.storage.buffer: the container buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.storage import BufferPool, ContainerStore
+
+
+@pytest.fixture()
+def store(photo):
+    """A fresh store (own pool) over the shared catalog."""
+    return ContainerStore.from_table(photo, depth=2)
+
+
+class TestReadPath:
+    def test_first_read_misses_then_hits(self, store):
+        pool = store.buffer_pool
+        htm_id = store.occupied_ids()[0]
+        table, from_pool = store.read_container(htm_id)
+        assert from_pool is False
+        assert pool.stats.misses == 1
+        again, from_pool = store.read_container(htm_id)
+        assert from_pool is True
+        assert again is table  # same resident pages
+        assert pool.stats.hits == 1
+        assert pool.stats.bytes_read == store.containers[htm_id].nbytes()
+        assert pool.stats.bytes_from_pool == store.containers[htm_id].nbytes()
+
+    def test_hit_rate(self, store):
+        ids = store.occupied_ids()[:4]
+        for htm_id in ids:
+            store.read_container(htm_id)
+        for htm_id in ids:
+            store.read_container(htm_id)
+        assert store.buffer_pool.stats.hit_rate() == pytest.approx(0.5)
+
+    def test_query_region_populates_and_reuses_pool(self, photo, store):
+        from repro.geometry import circle_region
+
+        region = circle_region(40.0, 30.0, 10.0)
+        _result, first = store.query_region(region)
+        _result, second = store.query_region(region)
+        assert first.containers_from_pool == 0
+        touched = second.containers_accepted + second.containers_bisected
+        assert second.containers_from_pool == touched
+
+    def test_scan_all_second_pass_is_all_hits(self, store):
+        store.scan_all()
+        _result, stats = store.scan_all()
+        assert stats.containers_from_pool == len(store.containers)
+        assert store.buffer_pool.stats.misses == len(store.containers)
+
+
+class TestLRUBudget:
+    def test_eviction_under_byte_budget(self, store):
+        ids = store.occupied_ids()
+        a, b = ids[0], ids[1]
+        nbytes_a = store.containers[a].nbytes()
+        nbytes_b = store.containers[b].nbytes()
+        pool = BufferPool(byte_budget=max(nbytes_a, nbytes_b))
+        tight = ContainerStore(store.schema, store.depth, buffer_pool=pool)
+        tight.containers = store.containers
+        tight.read_container(a)
+        tight.read_container(b)  # evicts a
+        assert pool.stats.evictions >= 1
+        _table, from_pool = tight.read_container(a)
+        assert from_pool is False  # a was evicted
+        assert pool.resident_bytes() <= pool.byte_budget
+
+    def test_lru_order_keeps_recently_used(self, store):
+        ids = store.occupied_ids()
+        a, b, c = ids[0], ids[1], ids[2]
+        sizes = {i: store.containers[i].nbytes() for i in (a, b, c)}
+        pool = BufferPool(byte_budget=sizes[a] + sizes[b])
+        tight = ContainerStore(store.schema, store.depth, buffer_pool=pool)
+        tight.containers = store.containers
+        tight.read_container(a)
+        tight.read_container(b)
+        tight.read_container(a)  # touch a: b is now LRU
+        tight.read_container(c)  # evicts b (maybe more, budget is bytes)
+        _table, from_pool = tight.read_container(b)
+        assert from_pool is False
+
+    def test_unbounded_pool_never_evicts(self, store):
+        for htm_id in store.occupied_ids():
+            store.read_container(htm_id)
+        assert store.buffer_pool.stats.evictions == 0
+        assert store.buffer_pool.resident_containers() == len(store.containers)
+
+    def test_zero_budget_rejects_residency_but_serves_reads(self, store):
+        pool = BufferPool(byte_budget=0)
+        bare = ContainerStore(store.schema, store.depth, buffer_pool=pool)
+        bare.containers = store.containers
+        htm_id = store.occupied_ids()[0]
+        table, from_pool = bare.read_container(htm_id)
+        assert from_pool is False
+        assert len(table) == len(store.containers[htm_id])
+        _table, from_pool = bare.read_container(htm_id)
+        assert from_pool is False  # nothing can stay resident
+
+
+class TestInvalidation:
+    def test_mutated_container_is_never_served_stale(self, photo, store):
+        htm_id = store.occupied_ids()[0]
+        table, _ = store.read_container(htm_id)
+        rows_before = len(table)
+        # Container.append replaces the table object (loader path).
+        store.containers[htm_id].append(table.take(np.arange(min(3, rows_before))))
+        fresh, from_pool = store.read_container(htm_id)
+        assert from_pool is False
+        assert store.buffer_pool.stats.invalidations == 1
+        assert len(fresh) == rows_before + min(3, rows_before)
+
+    def test_explicit_invalidate(self, store):
+        htm_id = store.occupied_ids()[0]
+        store.read_container(htm_id)
+        store.buffer_pool.invalidate(store, htm_id)
+        _table, from_pool = store.read_container(htm_id)
+        assert from_pool is False
+
+    def test_invalidate_whole_store(self, store):
+        for htm_id in store.occupied_ids()[:5]:
+            store.read_container(htm_id)
+        store.buffer_pool.invalidate(store)
+        assert store.buffer_pool.resident_containers() == 0
+
+
+class TestSharedPool:
+    def test_two_stores_can_share_one_pool_without_collisions(self, photo, tags):
+        pool = BufferPool()
+        photo_store = ContainerStore.from_table(photo, depth=2, buffer_pool=pool)
+        tag_store = ContainerStore.from_table(tags, depth=2, buffer_pool=pool)
+        # Same htm ids exist in both stores; reads must not cross.
+        shared_ids = set(photo_store.occupied_ids()) & set(tag_store.occupied_ids())
+        assert shared_ids
+        htm_id = sorted(shared_ids)[0]
+        photo_table, _ = photo_store.read_container(htm_id)
+        tag_table, from_pool = tag_store.read_container(htm_id)
+        assert from_pool is False  # distinct key despite equal htm_id
+        assert photo_table is not tag_table
+
+    def test_from_table_accepts_shared_pool(self, photo):
+        pool = BufferPool()
+        store = ContainerStore.from_table(photo, depth=2)
+        other = ContainerStore(store.schema, store.depth, buffer_pool=pool)
+        assert other.buffer_pool is pool
