@@ -3,7 +3,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-all bench bench-smoke check
+.PHONY: test test-net test-all bench bench-smoke check serve
 
 # Tier-1 verification: everything except @pytest.mark.slow benchmarks.
 test:
@@ -14,9 +14,19 @@ check:
 	$(PYTEST) -x -q
 	PYTHONPATH=src python -m compileall -q src
 
+# Just the network-archive tests (localhost TCP; every test carries a
+# SIGALRM timeout guard so a wedged socket fails instead of hanging).
+test-net:
+	$(PYTEST) -x -q tests/net
+
 # The full suite including slow-marked benchmark cases.
 test-all:
 	$(PYTEST) -x -q -o addopts="--durations=10"
+
+# Host a synthetic archive on localhost TCP; connect from another
+# process with Archive.connect("archive://127.0.0.1:7744").
+serve:
+	PYTHONPATH=src python -m repro.net.server --port 7744
 
 # All benchmarks, including slow ones, with their printed tables.
 bench:

@@ -1,15 +1,18 @@
 """Session benchmark artifact: the archive's perf trajectory on disk.
 
-Runs a fixed query corpus through the session API over both backends
-(single-store and a 3-server distributed partitioning of the same
-catalog) and writes time-to-first-row / time-to-completion per query to
-a JSON artifact, so successive PRs can compare the numbers instead of
-guessing.  Each query also records its shared-scan I/O telemetry
-(containers physically read vs. served from the buffer pool vs.
-skipped), and a *concurrent* scenario measures what the shared sweep
-buys: K interactive jobs over one store, with the buffer-pool hit rate,
-sweep sharing factor, and read amplification vs. a single physical
-sweep written alongside the latency numbers.
+Runs a fixed query corpus through the session API over three backends —
+single-store, a 3-server distributed partitioning of the same catalog,
+and a *remote* ``archive://`` session against an in-process
+:class:`~repro.net.ArchiveServer` (so the network tax is measured from
+day one: per-query wire round-trips land in the artifact next to the
+latency numbers) — and writes time-to-first-row / time-to-completion
+per query to a JSON artifact, so successive PRs can compare the numbers
+instead of guessing.  Each query also records its shared-scan I/O
+telemetry (containers physically read vs. served from the buffer pool
+vs. skipped), and a *concurrent* scenario measures what the shared
+sweep buys: K interactive jobs over one store, with the buffer-pool hit
+rate, sweep sharing factor, and read amplification vs. a single
+physical sweep written alongside the latency numbers.
 
 Run:  PYTHONPATH=src python benchmarks/bench_session.py [--out BENCH_session.json]
 """
@@ -24,6 +27,7 @@ import time
 
 from repro import Archive, ContainerStore, SkySimulator, SurveyParameters
 from repro.catalog import make_tag_table
+from repro.net import ArchiveServer
 from repro.storage import DistributedArchive
 
 #: Fixed corpus: one query per plan shape the session must serve well.
@@ -55,8 +59,10 @@ CATALOG = SurveyParameters(
 
 
 def _bench_session(session):
+    telemetry = getattr(session.executor, "telemetry", None)
     queries = {}
     for name, text in CORPUS:
+        trips_before = telemetry.snapshot() if telemetry is not None else 0
         cursor = session.execute(text)
         table = cursor.to_table()
         io = cursor.io_report()
@@ -72,6 +78,10 @@ def _bench_session(session):
             "containers_from_pool": io["containers_from_pool"],
             "containers_skipped": io["containers_skipped"],
         }
+        if telemetry is not None:
+            queries[name]["wire_round_trips"] = (
+                telemetry.snapshot() - trips_before
+            )
     return queries
 
 
@@ -139,6 +149,14 @@ def main():
     archive = DistributedArchive.from_table(photo, depth=6, n_servers=N_SERVERS)
     archive.attach_source("tag", tags)
     distributed = Archive.connect(archive=archive)
+    # The remote backend: the same stores behind an in-process
+    # ArchiveServer and a real TCP hop, so the artifact records the
+    # network tax (latency deltas + wire round-trips per query).
+    server = ArchiveServer(stores={
+        "photo": ContainerStore.from_table(photo, depth=6),
+        "tag": ContainerStore.from_table(tags, depth=6),
+    }).start()
+    remote = Archive.connect(server.url)
 
     started = time.perf_counter()
     payload = {
@@ -149,18 +167,21 @@ def main():
         "backends": {
             "local": _bench_session(local),
             "distributed": _bench_session(distributed),
+            "remote": _bench_session(remote),
         },
         "concurrent": _bench_concurrent(photo),
     }
     payload["wall_seconds"] = round(time.perf_counter() - started, 3)
     local.close()
     distributed.close()
+    remote.close()
+    server.stop()
 
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(
-        f"wrote {args.out} ({len(CORPUS)} queries x 2 backends + "
+        f"wrote {args.out} ({len(CORPUS)} queries x 3 backends + "
         f"{CONCURRENT_JOBS}-way concurrent scenario, "
         f"{payload['wall_seconds']} s; concurrent read amplification "
         f"{payload['concurrent']['read_amplification_vs_single_sweep']}x)"

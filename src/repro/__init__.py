@@ -32,6 +32,13 @@ Subpackages
     query classes, job states with cancellation and progress counters,
     streaming cursors with pagination, and structured ``explain`` plan
     trees that render identically for local and distributed execution.
+``repro.net``
+    The network archive protocol: ``ArchiveServer`` hosts any backend on
+    localhost TCP; ``Archive.connect("archive://host:port")`` (or a list
+    of endpoints for remote scatter-gather) returns an ordinary
+    ``Session`` whose queries execute in the server process — cancel
+    propagates over the wire, telemetry aggregates across it, and a
+    crashed server is a FAILED job, never a hang.
 ``repro.machines``
     The scan machine (data pump), hash machine (spatial hash-join), and
     river machine (dataflow graphs).

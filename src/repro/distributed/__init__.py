@@ -7,7 +7,12 @@ shard QETs -> coordinator merge stream.  See
 :mod:`repro.distributed.routing` for HTM-cover shard pruning.
 """
 
-from repro.distributed.engine import DistributedQueryEngine, DistributedQueryResult
+from repro.distributed.engine import (
+    DistributedQueryEngine,
+    DistributedQueryResult,
+    build_merge_tree,
+    build_shard_tree,
+)
 from repro.distributed.routing import (
     ShardFanoutReport,
     admit_scan_jobs,
@@ -18,6 +23,8 @@ from repro.distributed.routing import (
 __all__ = [
     "DistributedQueryEngine",
     "DistributedQueryResult",
+    "build_shard_tree",
+    "build_merge_tree",
     "ShardFanoutReport",
     "admit_scan_jobs",
     "assign_sweep_servers",

@@ -46,7 +46,78 @@ from repro.query.qet import (
     UnionNode,
 )
 
-__all__ = ["DistributedQueryEngine", "DistributedQueryResult"]
+__all__ = [
+    "DistributedQueryEngine",
+    "DistributedQueryResult",
+    "build_shard_tree",
+    "build_merge_tree",
+]
+
+
+def build_shard_tree(store, sharded, coverage, batch_rows=4096):
+    """One server's sub-QET: the pushed-down shard half of a split plan.
+
+    Shared by the in-process engine (scan trees built directly over each
+    touched :class:`~repro.storage.cluster.ServerNode` store) and the
+    network layer's :class:`~repro.net.server.ShardExecutor` (the same
+    tree built server-side for a ``mode="shard"`` submission).
+    """
+    shard = sharded.shard
+    node = ScanNode(store, shard, batch_rows=batch_rows, coverage=coverage)
+    if shard.is_aggregate:
+        return AggregateNode(
+            node, shard.group_specs, shard.aggregate_specs, shard.output_order
+        )
+    if shard.order_key_fns:
+        node = SortNode(node, shard.order_key_fns, shard.order_descending)
+    if shard.limit is not None:
+        node = LimitNode(node, shard.limit)
+    if shard.projection:
+        node = ProjectNode(node, shard.projection)
+    return node
+
+
+def build_merge_tree(shard_roots, sharded, batch_rows=4096):
+    """The coordinator half: recombine shard streams per the merge spec.
+
+    ``shard_roots`` may be local sub-trees *or* remote nodes streaming a
+    far server's shard half (:class:`~repro.net.client.RemoteRootNode`)
+    — the merge logic is identical, which is exactly why scatter-gather
+    survives the move across process boundaries unchanged.
+    """
+    merge = sharded.merge
+    if merge.kind == "aggregate":
+        node = ExchangeNode(shard_roots)
+        node = AggregateNode(
+            node,
+            merge.group_specs,
+            merge.reaggregate_specs,
+            merge.reaggregate_order,
+        )
+        node = ProjectNode(node, merge.final_projection)
+        if merge.having_fn is not None:
+            node = FilterNode(node, merge.having_fn)
+        if merge.order_key_fns:
+            node = SortNode(node, merge.order_key_fns, merge.order_descending)
+        if merge.limit is not None:
+            node = LimitNode(node, merge.limit)
+        return node
+    if merge.kind == "ordered":
+        node = MergeSortNode(
+            shard_roots,
+            merge.order_key_fns,
+            merge.order_descending,
+            batch_rows=batch_rows,
+        )
+        if merge.limit is not None:
+            node = LimitNode(node, merge.limit)
+        if merge.projection:
+            node = ProjectNode(node, merge.projection)
+        return node
+    node = ExchangeNode(shard_roots)
+    if merge.limit is not None:
+        node = LimitNode(node, merge.limit)
+    return node
 
 
 class DistributedQueryResult(QueryResult):
@@ -196,58 +267,16 @@ class DistributedQueryEngine:
         return root, output_schema_for(plan, self.schemas)
 
     def _shard_tree(self, store, sharded, coverage):
-        """One server's sub-QET: the pushed-down half of the plan."""
-        shard = sharded.shard
-        node = ScanNode(
-            store, shard, batch_rows=self.batch_rows, coverage=coverage
+        """One server's sub-QET (see :func:`build_shard_tree`)."""
+        return build_shard_tree(
+            store, sharded, coverage, batch_rows=self.batch_rows
         )
-        if shard.is_aggregate:
-            return AggregateNode(
-                node, shard.group_specs, shard.aggregate_specs, shard.output_order
-            )
-        if shard.order_key_fns:
-            node = SortNode(node, shard.order_key_fns, shard.order_descending)
-        if shard.limit is not None:
-            node = LimitNode(node, shard.limit)
-        if shard.projection:
-            node = ProjectNode(node, shard.projection)
-        return node
 
     def _merge_tree(self, shard_roots, sharded):
-        """The coordinator half: recombine shard streams per the spec."""
-        merge = sharded.merge
-        if merge.kind == "aggregate":
-            node = ExchangeNode(shard_roots)
-            node = AggregateNode(
-                node,
-                merge.group_specs,
-                merge.reaggregate_specs,
-                merge.reaggregate_order,
-            )
-            node = ProjectNode(node, merge.final_projection)
-            if merge.having_fn is not None:
-                node = FilterNode(node, merge.having_fn)
-            if merge.order_key_fns:
-                node = SortNode(node, merge.order_key_fns, merge.order_descending)
-            if merge.limit is not None:
-                node = LimitNode(node, merge.limit)
-            return node
-        if merge.kind == "ordered":
-            node = MergeSortNode(
-                shard_roots,
-                merge.order_key_fns,
-                merge.order_descending,
-                batch_rows=self.batch_rows,
-            )
-            if merge.limit is not None:
-                node = LimitNode(node, merge.limit)
-            if merge.projection:
-                node = ProjectNode(node, merge.projection)
-            return node
-        node = ExchangeNode(shard_roots)
-        if merge.limit is not None:
-            node = LimitNode(node, merge.limit)
-        return node
+        """The coordinator half (see :func:`build_merge_tree`)."""
+        return build_merge_tree(
+            shard_roots, sharded, batch_rows=self.batch_rows
+        )
 
     # ------------------------------------------------------------------
     # execution

@@ -1,0 +1,446 @@
+"""The network client: a remote archive behind the ordinary Session API.
+
+:class:`RemoteExecutor` implements the session layer's
+:class:`~repro.session.executor.Executor` protocol against an
+:class:`~repro.net.server.ArchiveServer`, so::
+
+    session = Archive.connect("archive://host:port")
+
+returns a perfectly ordinary :class:`~repro.session.Session` — same
+jobs, cursors, batch queueing, cancellation and explain — whose queries
+happen to execute in another process.  The moving part is
+:class:`RemoteRootNode`, a leaf QET node whose thread speaks the wire
+protocol: it submits the query as a server-side session job, pulls
+result batches (client-driven streaming, so backpressure crosses the
+network hop for free), folds the server's per-node
+:class:`~repro.query.qet.NodeStats` and shared-scan I/O counters back
+into the client job, and propagates :meth:`Job.cancel` over the wire.
+
+Failure contract: a dead or crashed server surfaces as a *FAILED* job
+with the connection error as its cause — never a hang.  Cancellation is
+out-of-band (a side connection carrying ``cancel`` plus a shutdown of
+the streaming socket), so a job blocked deep in the server's batch queue
+still cancels promptly.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.net.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    RemoteArchiveError,
+    plan_from_wire,
+    raise_from_wire,
+    recv_frame,
+    report_from_wire,
+    schema_from_wire,
+    send_frame,
+    table_from_wire,
+)
+from repro.query.qet import QETNode, Stream
+from repro.session.executor import Executor, PreparedQuery
+
+__all__ = [
+    "WireTelemetry",
+    "RemoteExecutor",
+    "RemoteRootNode",
+    "parse_archive_url",
+    "open_connection",
+]
+
+
+def parse_archive_url(url):
+    """``archive://host:port`` -> ``(host, port)``."""
+    prefix = "archive://"
+    if not url.startswith(prefix):
+        raise ValueError(f"not an archive URL: {url!r} (expected {prefix}host:port)")
+    rest = url[len(prefix) :].strip("/")
+    host, sep, port = rest.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"archive URL needs host:port, got {url!r}")
+    return host, int(port)
+
+
+def open_connection(endpoint, connect_timeout=5.0, timeout=None):
+    """TCP connection to an archive server with NODELAY set.
+
+    ``connect_timeout`` bounds the handshake (a dead host must fail,
+    not hang); ``timeout`` is the per-recv bound afterwards (``None``
+    blocks — cancellation interrupts via socket shutdown).
+    """
+    sock = socket.create_connection(endpoint, timeout=connect_timeout)
+    sock.settimeout(timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+    return sock
+
+
+class WireTelemetry:
+    """Round-trip accounting shared by an executor and its query nodes."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.round_trips = 0
+
+    def note_round_trip(self, n=1):
+        with self._lock:
+            self.round_trips += n
+
+    def snapshot(self):
+        with self._lock:
+            return self.round_trips
+
+
+def _request(sock, header, telemetry=None):
+    """One request/response exchange; re-raises structured errors."""
+    send_frame(sock, header)
+    response, body = recv_frame(sock)
+    if telemetry is not None:
+        telemetry.note_round_trip()
+    if response.get("op") == "error":
+        raise_from_wire(response)
+    return response, body
+
+
+class _CancelSignallingStream(Stream):
+    """A node output stream whose cancellation also pokes the network.
+
+    ``Job.cancel`` cancels every node's output stream; for a remote node
+    that must *interrupt a blocked recv* and reach the server, so the
+    stream runs registered hooks (side-channel cancel + socket shutdown)
+    after the normal cancel."""
+
+    def __init__(self, maxsize=8):
+        super().__init__(maxsize=maxsize)
+        self._hooks = []
+
+    def add_cancel_hook(self, hook):
+        self._hooks.append(hook)
+
+    def cancel(self):
+        super().cancel()
+        for hook in self._hooks:
+            try:
+                hook()
+            except OSError:
+                pass
+
+
+class RemoteRootNode(QETNode):
+    """Leaf QET node executing one query on a remote archive server.
+
+    ``mode="full"`` runs the whole query server-side (the single-
+    endpoint ``archive://`` session); ``mode="shard"`` runs only the
+    pushed-down shard half of SELECT number ``select_index`` — the
+    building block of the remote scatter-gather executor, whose
+    coordinator stacks the ordinary merge tree on top of these nodes.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        endpoint,
+        text,
+        allow_tag_route=True,
+        mode="full",
+        select_index=0,
+        remote_plan=None,
+        telemetry=None,
+        connect_timeout=5.0,
+        timeout=None,
+        fetch_batches=8,
+        server_id=None,
+    ):
+        super().__init__(())
+        self.output = _CancelSignallingStream()
+        self.output.add_cancel_hook(self._on_cancelled)
+        self.endpoint = tuple(endpoint)
+        self.text = text
+        self.allow_tag_route = allow_tag_route
+        self.mode = mode
+        self.select_index = int(select_index)
+        #: the server-rendered PlanTree (``session.explain`` passthrough)
+        self.remote_plan = remote_plan
+        self.telemetry = telemetry
+        self.connect_timeout = connect_timeout
+        self.timeout = timeout
+        self.fetch_batches = max(1, int(fetch_batches))
+        #: annotation consumed by the structured explain (shard index)
+        self.server_id = server_id
+        #: query class forwarded to the server-side session (bound by
+        #: the owning Job just before the tree starts)
+        self.query_class = "interactive"
+        #: server-side job id once accepted
+        self.remote_job_id = None
+        #: serialized per-node NodeStats from the server (after drain)
+        self.remote_node_stats = None
+        #: server-side Job.io_report dict (after drain)
+        self.remote_io = None
+        #: raw ``{"sweep": [swept, deliveries], "pool": [accesses, hits]}``
+        #: counters the client Job.io_report folds in
+        self.remote_io_raw = None
+        self._sock = None
+        self._sock_lock = threading.Lock()
+        self._cancel_sent = False
+
+    # -- session integration --------------------------------------------
+
+    def bind_job(self, job):
+        """Called by the owning Job just before the tree starts: carry
+        the query class to the server so batch jobs from many remote
+        clients serialize through the *server's* one batch machine."""
+        self.query_class = job.query_class
+
+    # -- cancellation ---------------------------------------------------
+
+    def _on_cancelled(self):
+        """Stream-cancel hook: reach the server out-of-band, then break
+        any blocked recv on the streaming socket.
+
+        The side-channel cancel runs on its own daemon thread: the hook
+        executes on the *canceller's* thread (``Job.cancel`` walking the
+        tree), and an unreachable endpoint must not stall that walk for
+        a connect timeout per remote leaf — the streaming-socket
+        shutdown below already unblocks this node either way.
+        """
+        threading.Thread(target=self._send_side_cancel, daemon=True).start()
+        with self._sock_lock:
+            sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def _send_side_cancel(self):
+        """Best-effort ``cancel`` op on a fresh connection.
+
+        A side channel, not the streaming socket: the streaming
+        connection may be mid-response (or the server handler blocked in
+        a batch queue), while a fresh connection's cancel is handled
+        immediately by its own server thread.
+        """
+        with self._sock_lock:
+            if self._cancel_sent or self.remote_job_id is None:
+                return
+            self._cancel_sent = True
+            job_id = self.remote_job_id
+        try:
+            side = open_connection(
+                self.endpoint, self.connect_timeout, timeout=self.connect_timeout
+            )
+            try:
+                _request(
+                    side,
+                    {"op": "cancel", "job_id": job_id},
+                    telemetry=self.telemetry,
+                )
+            finally:
+                side.close()
+        except (OSError, ProtocolError, RemoteArchiveError):
+            pass
+
+    # -- execution ------------------------------------------------------
+
+    def run(self):
+        sock = open_connection(self.endpoint, self.connect_timeout, self.timeout)
+        with self._sock_lock:
+            if self.output.cancelled():
+                sock.close()
+                return
+            self._sock = sock
+        try:
+            self._stream(sock)
+        except (OSError, ConnectionClosed) as exc:
+            if self.output.cancelled():
+                return  # interrupted by our own cancellation, not a failure
+            host, port = self.endpoint
+            raise ConnectionClosed(
+                f"archive server at {host}:{port} died mid-stream: {exc}"
+            ) from exc
+        except Exception:
+            # A structured error frame that merely reflects our own
+            # cancellation (e.g. the server-side job reporting
+            # "cancelled") is a clean exit, not a failure.
+            if self.output.cancelled():
+                return
+            raise
+        finally:
+            with self._sock_lock:
+                self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _stream(self, sock):
+        accepted, _ = _request(
+            sock,
+            {
+                "op": "submit",
+                "text": self.text,
+                "allow_tag_route": self.allow_tag_route,
+                "query_class": self.query_class,
+                "mode": self.mode,
+                "select_index": self.select_index,
+            },
+            telemetry=self.telemetry,
+        )
+        with self._sock_lock:
+            self.remote_job_id = accepted.get("job_id")
+        done = False
+        while not done:
+            if self.output.cancelled():
+                self._send_side_cancel()
+                return
+            response, _ = _request(
+                sock,
+                {
+                    "op": "fetch_batch",
+                    "job_id": self.remote_job_id,
+                    "max_batches": self.fetch_batches,
+                },
+                telemetry=self.telemetry,
+            )
+            done = bool(response.get("done"))
+            for _index in range(int(response.get("count", 0))):
+                batch_header, body = recv_frame(sock)
+                if batch_header.get("op") == "error":
+                    raise_from_wire(batch_header)
+                batch = table_from_wire(batch_header, body)
+                if len(batch) and not self._emit(batch):
+                    self._send_side_cancel()
+                    return
+        self._collect_stats(sock)
+
+    def _collect_stats(self, sock):
+        """After a clean drain: pull NodeStats and the I/O report so the
+        client job's telemetry is real, not empty."""
+        try:
+            stats, _ = _request(
+                sock,
+                {"op": "job_stats", "job_id": self.remote_job_id},
+                telemetry=self.telemetry,
+            )
+            io, _ = _request(
+                sock,
+                {"op": "io_report", "job_id": self.remote_job_id},
+                telemetry=self.telemetry,
+            )
+        except (OSError, ProtocolError, RemoteArchiveError):
+            return  # telemetry is best-effort; the rows already arrived
+        nodes = stats.get("nodes", [])
+        self.remote_node_stats = nodes
+        for node in nodes:
+            self.stats.containers_read += int(node.get("containers_read", 0))
+            self.stats.containers_from_pool += int(
+                node.get("containers_from_pool", 0)
+            )
+            self.stats.containers_skipped += int(
+                node.get("containers_skipped", 0)
+            )
+        self.remote_io = io.get("report")
+        self.remote_io_raw = io.get("raw")
+
+
+class RemoteExecutor(Executor):
+    """Executor protocol adapter: queries prepared against a far archive.
+
+    ``prepare`` performs one wire round-trip: the server parses, plans,
+    splits and routes, and answers with the static output schema, the
+    fan-out reports, the routed sources and the structured plan tree —
+    everything the session layer needs to admit, explain and account the
+    job — plus an unstarted :class:`RemoteRootNode` that will execute it.
+    """
+
+    kind = "remote"
+
+    #: recv bound on control-plane exchanges (hello / prepare) — those
+    #: responses only cost the server a parse+plan, so a wedged server
+    #: must fail the call, not hang ``Session.submit`` with no job to
+    #: cancel.  Data-plane streaming stays unbounded by default (long
+    #: queries legitimately pause between batches) and is interruptible
+    #: through the cancel hook instead.
+    CONTROL_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        host,
+        port,
+        *,
+        connect_timeout=5.0,
+        timeout=None,
+        fetch_batches=8,
+    ):
+        self.endpoint = (host, int(port))
+        self.connect_timeout = connect_timeout
+        self.timeout = timeout
+        self.fetch_batches = fetch_batches
+        self.telemetry = WireTelemetry()
+
+    @classmethod
+    def from_url(cls, url, **kwargs):
+        host, port = parse_archive_url(url)
+        return cls(host, port, **kwargs)
+
+    @property
+    def url(self):
+        host, port = self.endpoint
+        return f"archive://{host}:{port}"
+
+    def hello(self):
+        """Server metadata: kind, sources, schemas, depth, shard ranges."""
+        sock = open_connection(
+            self.endpoint, self.connect_timeout, timeout=self.connect_timeout
+        )
+        try:
+            header, _ = _request(sock, {"op": "hello"}, telemetry=self.telemetry)
+        finally:
+            sock.close()
+        return header
+
+    def prepare(self, text, allow_tag_route=True):
+        control_timeout = (
+            self.timeout if self.timeout is not None else self.CONTROL_TIMEOUT
+        )
+        sock = open_connection(
+            self.endpoint, self.connect_timeout, timeout=control_timeout
+        )
+        try:
+            header, _ = _request(
+                sock,
+                {
+                    "op": "prepare",
+                    "text": text,
+                    "allow_tag_route": allow_tag_route,
+                },
+                telemetry=self.telemetry,
+            )
+        finally:
+            sock.close()
+        root = RemoteRootNode(
+            self.endpoint,
+            text,
+            allow_tag_route=allow_tag_route,
+            remote_plan=plan_from_wire(header.get("plan")),
+            telemetry=self.telemetry,
+            connect_timeout=self.connect_timeout,
+            timeout=self.timeout,
+            fetch_batches=self.fetch_batches,
+        )
+        return PreparedQuery(
+            text=text,
+            root=root,
+            schema=schema_from_wire(header.get("schema")),
+            reports=[report_from_wire(r) for r in header.get("reports", [])],
+            sources=list(header.get("sources", [])),
+        )
+
+    def __repr__(self):
+        return f"RemoteExecutor({self.url!r})"

@@ -1,0 +1,224 @@
+"""Remote scatter-gather: partition servers in other processes.
+
+PR 1's :class:`~repro.distributed.DistributedQueryEngine` proved the
+plan split — shard sub-plans pushed down, a coordinator merge on top —
+with every shard living in one process.  This module puts each shard
+behind a real :class:`~repro.net.server.ArchiveServer`:
+
+* every endpoint hosts one partition's containers (a single-store
+  backend, the shape ``DistributedArchive`` gives each
+  :class:`~repro.storage.cluster.ServerNode`);
+* the coordinator plans the query *once* against the schemas the
+  endpoints advertise in ``hello``, prunes endpoints whose occupied
+  container-id ranges miss the plan's HTM cover, and fans the query
+  text out as ``mode="shard"`` submissions — both ends derive the same
+  deterministic :func:`~repro.query.optimizer.split_plan` from the
+  text, so no plan closures ever cross the wire;
+* the ordinary coordinator merge tree
+  (:func:`~repro.distributed.engine.build_merge_tree`: streaming
+  exchange, ordered k-way merge, partial-aggregate recombination) runs
+  over :class:`~repro.net.client.RemoteRootNode` leaves instead of
+  local scans — scatter-gather genuinely spanning processes.
+
+``Archive.connect(["archive://h:p0", "archive://h:p1", ...])`` builds
+one of these and returns an ordinary :class:`~repro.session.Session`.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.engine import build_merge_tree
+from repro.distributed.routing import ShardFanoutReport
+from repro.htm.ranges import RangeSet
+from repro.net.client import (
+    RemoteExecutor,
+    RemoteRootNode,
+    WireTelemetry,
+    parse_archive_url,
+)
+from repro.net.protocol import schema_from_wire
+from repro.query.ast_nodes import Select, SetOp
+from repro.query.errors import PlanError
+from repro.query.optimizer import (
+    output_schema_for,
+    plan_query,
+    shard_candidates,
+    split_plan,
+)
+from repro.query.parser import parse_query
+from repro.query.qet import DifferenceNode, IntersectNode, UnionNode
+from repro.session.executor import Executor, PreparedQuery
+
+__all__ = ["RemotePartitionedExecutor", "RemoteShard"]
+
+
+class RemoteShard:
+    """One partition-server endpoint plus its advertised metadata."""
+
+    def __init__(self, shard_id, host, port, hello):
+        self.shard_id = int(shard_id)
+        self.endpoint = (host, int(port))
+        self.kind = hello.get("kind", "unknown")
+        self.depth = hello.get("depth")
+        self.shard_capable = bool(hello.get("shard_capable"))
+        self.schemas = {}
+        self.ranges = {}
+        for name, info in hello.get("sources", {}).items():
+            self.schemas[name] = schema_from_wire(info["schema"])
+            self.ranges[name] = RangeSet(
+                tuple((int(lo), int(hi)) for lo, hi in info.get("ranges", []))
+            )
+
+    def covers(self, source, candidates):
+        """Whether this shard can hold rows of ``source`` under the
+        plan's candidate cover (``None`` = full scan: always)."""
+        held = self.ranges.get(source)
+        if held is None:
+            return False
+        if candidates is None:
+            return not held.is_empty()
+        return not held.intersect(candidates).is_empty()
+
+    def __repr__(self):
+        host, port = self.endpoint
+        return f"RemoteShard({self.shard_id}, archive://{host}:{port})"
+
+
+class RemotePartitionedExecutor(Executor):
+    """Executor protocol adapter: scatter-gather over remote shards.
+
+    ``prepare`` plans locally (against the shard-advertised schemas),
+    prunes endpoints by HTM cover, and returns an unstarted coordinator
+    merge tree whose leaves are shard-mode
+    :class:`~repro.net.client.RemoteRootNode` submissions — one
+    process-spanning QET behind the ordinary Session.
+    """
+
+    kind = "remote-cluster"
+
+    def __init__(
+        self,
+        urls,
+        *,
+        connect_timeout=5.0,
+        timeout=None,
+        fetch_batches=8,
+        batch_rows=4096,
+    ):
+        urls = list(urls)
+        if not urls:
+            raise ValueError("remote cluster needs at least one endpoint")
+        self.connect_timeout = connect_timeout
+        self.timeout = timeout
+        self.fetch_batches = fetch_batches
+        self.batch_rows = int(batch_rows)
+        self.telemetry = WireTelemetry()
+        self.shards = []
+        for shard_id, url in enumerate(urls):
+            host, port = parse_archive_url(url)
+            probe = RemoteExecutor(
+                host, port, connect_timeout=connect_timeout, timeout=timeout
+            )
+            probe.telemetry = self.telemetry
+            hello = probe.hello()
+            shard = RemoteShard(shard_id, host, port, hello)
+            if not shard.shard_capable:
+                raise ValueError(
+                    f"endpoint {url} hosts a {shard.kind!r} backend and "
+                    "cannot serve shard-mode queries"
+                )
+            self.shards.append(shard)
+        self.depth = self.shards[0].depth
+        self.schemas = dict(self.shards[0].schemas)
+        for shard in self.shards[1:]:
+            if shard.depth != self.depth:
+                raise ValueError(
+                    "remote shards disagree on container depth: "
+                    f"{shard.depth} != {self.depth}"
+                )
+            missing = set(self.schemas) - set(shard.schemas)
+            if missing:
+                raise ValueError(
+                    f"shard {shard!r} is missing sources {sorted(missing)}"
+                )
+
+    # -- planning -------------------------------------------------------
+
+    def prepare(self, text, allow_tag_route=True):
+        ast = parse_query(text)
+        reports = []
+        select_counter = [0]
+        root, schema = self._build(
+            ast, text, allow_tag_route, reports, select_counter
+        )
+        return PreparedQuery(
+            text=text,
+            root=root,
+            schema=schema,
+            reports=reports,
+            sources=[report.source for report in reports],
+        )
+
+    def _build(self, ast, text, allow_tag_route, reports, select_counter):
+        if isinstance(ast, SetOp):
+            left, left_schema = self._build(
+                ast.left, text, allow_tag_route, reports, select_counter
+            )
+            right, _right_schema = self._build(
+                ast.right, text, allow_tag_route, reports, select_counter
+            )
+            if ast.op == "UNION":
+                return UnionNode(left, right), left_schema
+            if ast.op == "INTERSECT":
+                return IntersectNode(left, right), left_schema
+            if ast.op == "EXCEPT":
+                return DifferenceNode(left, right), left_schema
+            raise PlanError(f"unknown set operator {ast.op}")
+        if not isinstance(ast, Select):
+            raise PlanError(f"cannot execute {type(ast).__name__}")
+        select_index = select_counter[0]
+        select_counter[0] += 1
+        return self._build_select(
+            ast, text, select_index, allow_tag_route, reports
+        )
+
+    def _build_select(self, select, text, select_index, allow_tag_route, reports):
+        plan = plan_query(
+            select, self.schemas, allow_tag_route=allow_tag_route
+        )
+        sharded = split_plan(plan)
+        _coverage, candidates = shard_candidates(plan, self.depth)
+
+        report = ShardFanoutReport(
+            source=plan.routed_source, servers_total=len(self.shards)
+        )
+        touched = []
+        for shard in self.shards:
+            if shard.covers(plan.routed_source, candidates):
+                touched.append(shard)
+                report.touched_server_ids.append(shard.shard_id)
+            else:
+                report.pruned_server_ids.append(shard.shard_id)
+        reports.append(report)
+
+        shard_roots = []
+        for shard in touched:
+            shard_roots.append(
+                RemoteRootNode(
+                    shard.endpoint,
+                    text,
+                    allow_tag_route=allow_tag_route,
+                    mode="shard",
+                    select_index=select_index,
+                    telemetry=self.telemetry,
+                    connect_timeout=self.connect_timeout,
+                    timeout=self.timeout,
+                    fetch_batches=self.fetch_batches,
+                    server_id=shard.shard_id,
+                )
+            )
+        root = build_merge_tree(shard_roots, sharded, batch_rows=self.batch_rows)
+        root.fanout_report = report
+        return root, output_schema_for(plan, self.schemas)
+
+    def __repr__(self):
+        return f"RemotePartitionedExecutor({len(self.shards)} shards)"

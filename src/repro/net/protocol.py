@@ -1,0 +1,405 @@
+"""The archive wire protocol: length-prefixed JSON + binary frames.
+
+The paper's architecture is explicitly networked — the query agent
+talks to a master server that farms work out to partition servers over
+an interface boundary.  This module is that boundary's wire format: a
+small request/response protocol spoken between
+:class:`~repro.net.client.RemoteExecutor` (the query agent's side) and
+:class:`~repro.net.server.ArchiveServer` (the archive's side).
+
+Framing
+-------
+Every message is one *frame*::
+
+    [u32 total_length][u32 header_length][header JSON][binary body]
+
+``total_length`` counts everything after itself.  The header is a JSON
+object whose ``op`` names the operation; the body carries bulk bytes
+(packed numpy records for result batches) so tables never round-trip
+through JSON.
+
+Operations
+----------
+``hello``
+    Server metadata: backend kind, hosted sources with their schemas,
+    container depth, and each source's occupied container-id ranges (the
+    coordinator's basis for remote shard pruning).
+``prepare``
+    Parse + plan a query server-side without starting it; returns the
+    static output schema, fan-out reports, routed sources, and the
+    structured plan tree.
+``submit``
+    Admit a query as a server-side session job (interactive or batch,
+    through the server's :class:`~repro.machines.scheduler.MachineScheduler`)
+    and return its job id.  ``mode="shard"`` runs only the pushed-down
+    shard half of the plan's ``select_index``-th SELECT — the op the
+    remote scatter-gather executor fans out.
+``fetch_batch``
+    Pull the next run of result batches for a job (client-driven
+    streaming: the response is a ``batches`` frame followed by one
+    binary table frame per batch, ``done`` marking exhaustion).  Empty
+    results are simply ``done`` with zero batches — the client already
+    holds the static output schema, so they stay well-formed tables.
+``cancel``
+    Cancel a job (any connection may cancel any job id — the client's
+    out-of-band cancel path), stopping every server-side QET thread.
+``job_stats``
+    Per-QET-node execution counters of a job, serialized
+    :class:`~repro.query.qet.NodeStats` — so remote jobs aggregate real
+    telemetry instead of returning empty stats client-side.
+``io_report``
+    The job's shared-scan I/O report plus the raw sweep/pool counters
+    the client folds into :meth:`~repro.session.core.Job.io_report`.
+``error``
+    Structured failure: exception class, module and message.  The client
+    re-raises the *original* exception class when it can be resolved
+    from the trusted module list (:data:`TRUSTED_ERROR_MODULES`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.catalog.schema import Field, Schema
+from repro.catalog.table import ObjectTable
+from repro.distributed.routing import ShardFanoutReport
+from repro.session.plan import PlanTree
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "TRUSTED_ERROR_MODULES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "RemoteArchiveError",
+    "send_frame",
+    "recv_frame",
+    "jsonable",
+    "schema_to_wire",
+    "schema_from_wire",
+    "table_to_wire",
+    "table_from_wire",
+    "report_to_wire",
+    "report_from_wire",
+    "node_stats_to_wire",
+    "plan_to_wire",
+    "plan_from_wire",
+    "error_to_wire",
+    "raise_from_wire",
+]
+
+#: Bumped on incompatible frame/op changes; exchanged in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (header + body).  Result batches are at most
+#: a few thousand ~1.3 kB records, far below this; the bound exists so a
+#: corrupted length prefix fails fast instead of attempting a huge read.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or unexpected frame on the archive wire."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF mid-protocol)."""
+
+
+class RemoteArchiveError(RuntimeError):
+    """A server-side failure whose original class could not be re-raised."""
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def jsonable(value):
+    """Recursively convert a value into plain JSON-serializable types.
+
+    Numpy scalars become Python scalars, tuples become lists, dict keys
+    become strings; anything else unserializable degrades to ``str``.
+    """
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
+def send_frame(sock, header, body=b""):
+    """Write one frame: JSON ``header`` plus optional binary ``body``."""
+    header_bytes = json.dumps(jsonable(header), separators=(",", ":")).encode(
+        "utf-8"
+    )
+    total = _LEN.size + len(header_bytes) + len(body)
+    if total > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {total} bytes exceeds the protocol bound")
+    sock.sendall(
+        _LEN.pack(total) + _LEN.pack(len(header_bytes)) + header_bytes + bytes(body)
+    )
+
+
+def _recv_exact(sock, n):
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {n} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock):
+    """Read one frame; returns ``(header_dict, body_bytes)``."""
+    (total,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if total < _LEN.size or total > MAX_FRAME_BYTES:
+        raise ProtocolError(f"invalid frame length {total}")
+    payload = _recv_exact(sock, total)
+    (header_len,) = _LEN.unpack(payload[: _LEN.size])
+    if header_len > total - _LEN.size:
+        raise ProtocolError(
+            f"header length {header_len} exceeds frame payload {total}"
+        )
+    header_end = _LEN.size + header_len
+    try:
+        header = json.loads(payload[_LEN.size : header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return header, payload[header_end:]
+
+
+# ----------------------------------------------------------------------
+# schema and table serialization
+# ----------------------------------------------------------------------
+
+
+def schema_to_wire(schema):
+    """Schema -> JSON-safe dict (``None`` passes through)."""
+    if schema is None:
+        return None
+    return {
+        "name": schema.name,
+        "doc": schema.doc,
+        "fields": [
+            {
+                # Explicit byte order: the dtype string is the wire
+                # contract, not a platform default.
+                "name": f.name,
+                "dtype": np.dtype(f.dtype).str,
+                "shape": list(f.shape),
+                "unit": f.unit,
+                "doc": f.doc,
+                "tag": bool(f.tag),
+            }
+            for f in schema.fields
+        ],
+    }
+
+
+def schema_from_wire(wire):
+    """Inverse of :func:`schema_to_wire`."""
+    if wire is None:
+        return None
+    return Schema(
+        wire["name"],
+        [
+            Field(
+                f["name"],
+                f["dtype"],
+                shape=tuple(f.get("shape", ())),
+                unit=f.get("unit", ""),
+                doc=f.get("doc", ""),
+                tag=bool(f.get("tag", False)),
+            )
+            for f in wire["fields"]
+        ],
+        doc=wire.get("doc", ""),
+    )
+
+
+def table_to_wire(table):
+    """ObjectTable -> ``(header_fields, body)``: schema JSON + packed rows.
+
+    The body is the structured array's packed bytes; the header carries
+    the schema and row count, so the receiver rebuilds the exact dtype.
+    """
+    data = np.ascontiguousarray(table.data)
+    return (
+        {"schema": schema_to_wire(table.schema), "rows": len(table)},
+        data.tobytes(),
+    )
+
+
+def table_from_wire(header, body):
+    """Inverse of :func:`table_to_wire`."""
+    schema = schema_from_wire(header["schema"])
+    rows = int(header.get("rows", 0))
+    dtype = schema.numpy_dtype()
+    if rows * dtype.itemsize != len(body):
+        raise ProtocolError(
+            f"table body of {len(body)} bytes does not hold {rows} "
+            f"records of {dtype.itemsize} bytes"
+        )
+    data = np.frombuffer(body, dtype=dtype, count=rows).copy()
+    return ObjectTable(schema, data)
+
+
+# ----------------------------------------------------------------------
+# report / stats / plan serialization
+# ----------------------------------------------------------------------
+
+
+def report_to_wire(report):
+    """ShardFanoutReport -> JSON-safe dict."""
+    return {
+        "source": report.source,
+        "servers_total": report.servers_total,
+        "touched_server_ids": list(report.touched_server_ids),
+        "pruned_server_ids": list(report.pruned_server_ids),
+        "estimated_bytes_per_server": report.estimated_bytes_per_server,
+        "simulated_seconds_per_server": report.simulated_seconds_per_server,
+        "sweep_assignments": report.sweep_assignments,
+        "simulated_seconds": report.simulated_seconds,
+        "simulated_seconds_single_server": report.simulated_seconds_single_server,
+    }
+
+
+def _int_keyed(mapping, value_type):
+    return {int(k): value_type(v) for k, v in (mapping or {}).items()}
+
+
+def report_from_wire(wire):
+    """Inverse of :func:`report_to_wire` (JSON string keys -> int)."""
+    return ShardFanoutReport(
+        source=wire["source"],
+        servers_total=int(wire.get("servers_total", 0)),
+        touched_server_ids=[int(s) for s in wire.get("touched_server_ids", [])],
+        pruned_server_ids=[int(s) for s in wire.get("pruned_server_ids", [])],
+        estimated_bytes_per_server=_int_keyed(
+            wire.get("estimated_bytes_per_server"), int
+        ),
+        simulated_seconds_per_server=_int_keyed(
+            wire.get("simulated_seconds_per_server"), float
+        ),
+        sweep_assignments=_int_keyed(wire.get("sweep_assignments"), int),
+        simulated_seconds=float(wire.get("simulated_seconds", 0.0)),
+        simulated_seconds_single_server=float(
+            wire.get("simulated_seconds_single_server", 0.0)
+        ),
+    )
+
+
+def node_stats_to_wire(node_stats):
+    """``{node: NodeStats}`` -> list of JSON-safe per-node counter dicts."""
+    return [
+        {
+            "kind": getattr(node, "name", type(node).__name__),
+            "rows_out": stats.rows_out,
+            "batches_out": stats.batches_out,
+            "containers_read": stats.containers_read,
+            "containers_from_pool": stats.containers_from_pool,
+            "containers_skipped": stats.containers_skipped,
+        }
+        for node, stats in node_stats.items()
+    ]
+
+
+def plan_to_wire(tree):
+    """PlanTree -> JSON-safe dict (``None`` passes through)."""
+    if tree is None:
+        return None
+    return {
+        "kind": tree.kind,
+        "detail": jsonable(tree.detail),
+        "children": [plan_to_wire(child) for child in tree.children],
+    }
+
+
+def plan_from_wire(wire):
+    """Inverse of :func:`plan_to_wire`."""
+    if wire is None:
+        return None
+    return PlanTree(
+        kind=wire["kind"],
+        detail=dict(wire.get("detail", {})),
+        children=[plan_from_wire(child) for child in wire.get("children", [])],
+    )
+
+
+# ----------------------------------------------------------------------
+# structured errors
+# ----------------------------------------------------------------------
+
+#: Modules whose exception classes the client will re-instantiate from a
+#: wire error frame.  Anything else degrades to RemoteArchiveError — the
+#: wire must never become an arbitrary-import channel.
+TRUSTED_ERROR_MODULES = (
+    "builtins",
+    "repro.query.errors",
+    "repro.session.core",
+    "repro.net.protocol",
+)
+
+
+def error_to_wire(exc):
+    """Exception -> structured error frame header."""
+    cls = type(exc)
+    return {
+        "op": "error",
+        "error_class": cls.__name__,
+        "error_module": cls.__module__,
+        "message": str(exc),
+    }
+
+
+def _resolve_error_class(module_name, class_name):
+    if module_name not in TRUSTED_ERROR_MODULES:
+        return None
+    import importlib
+
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError:
+        return None
+    cls = getattr(module, class_name, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        return cls
+    return None
+
+
+def raise_from_wire(header):
+    """Re-raise a server-side failure with its original exception class.
+
+    Falls back to :class:`RemoteArchiveError` when the class is unknown
+    or outside the trusted modules.
+    """
+    class_name = header.get("error_class", "RemoteArchiveError")
+    module_name = header.get("error_module", "")
+    message = header.get("message", "remote archive error")
+    cls = _resolve_error_class(module_name, class_name)
+    if cls is not None:
+        try:
+            raise cls(message)
+        except TypeError:
+            # Exotic constructor signature: keep the class name visible.
+            pass
+    raise RemoteArchiveError(f"{class_name}: {message}")

@@ -1,0 +1,649 @@
+"""The archive server: any backend hosted behind real sockets.
+
+*"Splitting the data among multiple servers enables parallel, scalable
+I/O"* — and the paper's split is client/server: the query agent talks
+to archive servers over a network boundary.  :class:`ArchiveServer`
+is that boundary's server side: it hosts **any** backend
+:meth:`~repro.session.core.Archive.connect` accepts (a single container
+store mapping, a :class:`~repro.query.engine.QueryEngine`, a
+:class:`~repro.storage.cluster.DistributedArchive`, ...) on localhost
+TCP, thread-per-connection, speaking the wire protocol of
+:mod:`repro.net.protocol`.
+
+Every remote submission is admitted through the server's *one* shared
+:class:`~repro.session.Session` — i.e. through the existing
+:class:`~repro.machines.scheduler.MachineScheduler` admission and the
+per-store :class:`~repro.machines.sweep.SweepScanner` read path — so
+concurrent remote clients share a single sweep per store exactly like
+concurrent local jobs do; the shared-scan read-amplification win
+survives the network hop.  Batch-class submissions from *different*
+clients serialize FIFO through the server's one batch machine.
+
+``mode="shard"`` submissions (from the remote scatter-gather
+coordinator, :class:`~repro.net.cluster.RemotePartitionedExecutor`) run
+only the pushed-down shard half of one SELECT: the server derives the
+identical :func:`~repro.query.optimizer.split_plan` from the query text
+— both ends of the wire split deterministically, so no plan closures
+ever need to travel.
+
+Run one from the shell::
+
+    python -m repro.net.server --port 7744 --galaxies 30000
+
+(or ``make serve``), then connect from any process with
+``Archive.connect("archive://127.0.0.1:7744")``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+
+from repro.distributed.engine import build_shard_tree
+from repro.htm.ranges import RangeSet
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    error_to_wire,
+    node_stats_to_wire,
+    plan_to_wire,
+    recv_frame,
+    report_to_wire,
+    schema_to_wire,
+    send_frame,
+    table_to_wire,
+)
+from repro.query.ast_nodes import Select, SetOp
+from repro.query.errors import ExecutionError, PlanError, QueryError
+from repro.query.optimizer import (
+    output_schema_for,
+    plan_query,
+    shard_candidates,
+    split_plan,
+)
+from repro.query.parser import parse_query
+from repro.session.core import Archive, SessionError
+from repro.session.executor import (
+    DistributedExecutor,
+    Executor,
+    LocalExecutor,
+    PreparedQuery,
+)
+from repro.session.plan import plan_tree
+
+__all__ = ["ArchiveServer", "ShardExecutor"]
+
+
+def _collect_selects(ast):
+    """Every SELECT of a parsed query, in deterministic execution order.
+
+    The same left-to-right depth-first order
+    :meth:`~repro.query.engine.QueryEngine.prepare_tree` and the
+    distributed executor use — the coordinator and the shard servers
+    number SELECTs identically, so ``select_index`` means the same
+    subquery on both ends of the wire.
+    """
+    if isinstance(ast, SetOp):
+        return _collect_selects(ast.left) + _collect_selects(ast.right)
+    if isinstance(ast, Select):
+        return [ast]
+    raise PlanError(f"cannot execute {type(ast).__name__}")
+
+
+class ShardExecutor(Executor):
+    """Executor running only the pushed-down shard half of one SELECT.
+
+    The server side of remote scatter-gather: ``prepare(text,
+    select_index=i)`` parses, plans and splits the query exactly like a
+    coordinator would, then builds the QET for ``sharded.shard`` over
+    this server's own containers.  Partial aggregates, per-shard sort
+    and LIMIT copies stream back; the coordinator's merge tree finishes
+    the job.
+    """
+
+    kind = "shard"
+
+    def __init__(self, engine, batch_rows=4096):
+        self.engine = engine
+        self.batch_rows = int(batch_rows)
+
+    def prepare(self, text, allow_tag_route=True, select_index=0):
+        ast = parse_query(text)
+        selects = _collect_selects(ast)
+        index = int(select_index)
+        if not 0 <= index < len(selects):
+            raise PlanError(
+                f"select_index {index} out of range: query has "
+                f"{len(selects)} SELECTs"
+            )
+        plan = plan_query(
+            selects[index],
+            self.engine.schemas,
+            density_maps=self.engine.density_maps,
+            allow_tag_route=allow_tag_route,
+        )
+        sharded = split_plan(plan)
+        store = self.engine.stores[plan.routed_source]
+        coverage, _candidates = shard_candidates(plan, store.depth)
+        root = build_shard_tree(
+            store, sharded, coverage, batch_rows=self.batch_rows
+        )
+        return PreparedQuery(
+            text=text,
+            root=root,
+            schema=output_schema_for(sharded.shard, self.engine.schemas),
+            sources=[plan.routed_source],
+        )
+
+
+class _ServerExecutor(Executor):
+    """The server session's executor: full-mode queries go to the hosted
+    backend, shard-mode queries to the :class:`ShardExecutor` (when the
+    backend is a single-store engine — the shape a partition server
+    has)."""
+
+    def __init__(self, base, shard=None):
+        self.base = base
+        self.shard = shard
+        self.kind = getattr(base, "kind", "unknown")
+
+    def prepare(self, text, allow_tag_route=True, mode="full", select_index=0):
+        if mode == "full":
+            return self.base.prepare(text, allow_tag_route=allow_tag_route)
+        if mode != "shard":
+            raise SessionError(f"unknown submission mode {mode!r}")
+        if self.shard is None:
+            raise SessionError(
+                "this archive server hosts a "
+                f"{self.kind!r} backend and cannot run shard-mode queries "
+                "(shard mode needs a single-store engine)"
+            )
+        return self.shard.prepare(
+            text, allow_tag_route=allow_tag_route, select_index=select_index
+        )
+
+
+class _ServedJob:
+    """One remote submission: the server-side session job plus the
+    connection-independent drain state."""
+
+    __slots__ = ("job_id", "job", "iterator")
+
+    def __init__(self, job_id, job):
+        self.job_id = job_id
+        self.job = job
+        self.iterator = iter(job.cursor)
+
+
+class ArchiveServer:
+    """Host an archive backend on localhost TCP.
+
+    Parameters mirror :meth:`Archive.connect` (exactly one of
+    ``backend``, ``stores`` or ``archive``); ``port=0`` binds an
+    ephemeral port (read it back from :attr:`url` / :attr:`address`).
+    Thread-per-connection; all connections share one server-side
+    :class:`~repro.session.Session`, so remote jobs ride the same
+    scheduler admission and shared sweeps as local ones.
+
+    Use as a context manager for deterministic teardown::
+
+        with ArchiveServer(stores={"photo": store}) as server:
+            session = Archive.connect(server.url)
+    """
+
+    _MAX_FETCH = 64
+    #: terminal jobs kept for introspection after their connection ends;
+    #: older ones are dropped so a long-running server stays bounded
+    _RETIRED_JOBS = 256
+
+    def __init__(
+        self,
+        backend=None,
+        *,
+        stores=None,
+        archive=None,
+        host="127.0.0.1",
+        port=0,
+        scheduler=None,
+        density_maps=None,
+        batch_rows=4096,
+    ):
+        self.session = Archive.connect(
+            backend,
+            stores=stores,
+            archive=archive,
+            scheduler=scheduler,
+            density_maps=density_maps,
+            batch_rows=batch_rows,
+        )
+        base = self.session.executor
+        shard = None
+        if isinstance(base, LocalExecutor):
+            shard = ShardExecutor(base.engine, batch_rows=batch_rows)
+        self._base_executor = base
+        self.session.executor = _ServerExecutor(base, shard)
+        self.host = host
+        self.port = int(port)
+        self._listener = None
+        self._accept_thread = None
+        self._threads = set()
+        self._connections = set()
+        self._jobs = {}
+        #: recently retired (terminal, connection gone) jobs — a bounded
+        #: window so introspection works without unbounded growth
+        self._retired = deque(maxlen=self._RETIRED_JOBS)
+        self._job_counter = 0
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def address(self):
+        return (self.host, self.port)
+
+    @property
+    def url(self):
+        return f"archive://{self.host}:{self.port}"
+
+    def start(self):
+        """Bind, listen, and serve in background threads; returns self."""
+        if self._listener is not None:
+            return self
+        listener = socket.create_server((self.host, self.port))
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name=f"archive-server-{self.port}"
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self):
+        """Start (if needed) and block until :meth:`stop` is called."""
+        self.start()
+        self._closing.wait()
+
+    def stop(self):
+        """Stop accepting, break every live connection, cancel jobs.
+
+        Breaking the connections is what makes a *killed* server
+        observable client-side: in-flight streams see EOF and their jobs
+        fail with the connection error as cause.
+        """
+        self._closing.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+            threads = list(self._threads)
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self.session.close()
+
+    close = stop
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    # -- introspection (used by tests and benchmarks) -------------------
+
+    def jobs(self):
+        """Server-side session jobs created for remote submissions:
+        the live ones plus a bounded window of recently retired ones."""
+        with self._lock:
+            return [job for job, _id in self._retired] + [
+                served.job for served in self._jobs.values()
+            ]
+
+    # -- accept / dispatch ----------------------------------------------
+
+    def _accept_loop(self):
+        while not self._closing.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            thread = threading.Thread(
+                target=self._serve_connection, args=(sock,), daemon=True
+            )
+            with self._lock:
+                self._connections.add(sock)
+                self._threads.add(thread)
+            thread.start()
+
+    def _serve_connection(self, sock):
+        conn_job_ids = []
+        try:
+            while not self._closing.is_set():
+                try:
+                    header, _body = recv_frame(sock)
+                except (ConnectionClosed, OSError):
+                    break
+                except ProtocolError as exc:
+                    self._send_safe(sock, error_to_wire(exc))
+                    break
+                try:
+                    self._dispatch(sock, header, conn_job_ids)
+                except (BrokenPipeError, ConnectionResetError):
+                    break
+                except OSError:
+                    break
+                except Exception as exc:  # structured error to the client
+                    if not self._send_safe(sock, error_to_wire(exc)):
+                        break
+        finally:
+            with self._lock:
+                self._connections.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+            # A vanished client must not leak server-side QET threads:
+            # cancel every non-terminal job this connection created.
+            # Cancelled/finished jobs then move from the live registry
+            # to the bounded retired window, so a long-running server
+            # does not accumulate one QET (and its buffered batches)
+            # per submission it ever served.
+            for job_id in conn_job_ids:
+                with self._lock:
+                    served = self._jobs.pop(job_id, None)
+                if served is None:
+                    continue
+                if not served.job.state.is_terminal():
+                    served.job.cancel()
+                with self._lock:
+                    self._retired.append((served.job, job_id))
+            with self._lock:
+                self._threads.discard(threading.current_thread())
+
+    @staticmethod
+    def _send_safe(sock, header, body=b""):
+        try:
+            send_frame(sock, header, body)
+            return True
+        except OSError:
+            return False
+
+    def _dispatch(self, sock, header, conn_job_ids):
+        op = header.get("op")
+        if op == "hello":
+            send_frame(sock, self._hello())
+        elif op == "prepare":
+            self._handle_prepare(sock, header)
+        elif op == "submit":
+            self._handle_submit(sock, header, conn_job_ids)
+        elif op == "fetch_batch":
+            self._handle_fetch(sock, header)
+        elif op == "cancel":
+            self._handle_cancel(sock, header)
+        elif op == "job_stats":
+            served = self._served(header)
+            send_frame(
+                sock,
+                {
+                    "op": "job_stats",
+                    "job_id": served.job_id,
+                    "state": served.job.state.value,
+                    "rows": served.job.rows,
+                    "nodes": node_stats_to_wire(served.job.node_stats()),
+                },
+            )
+        elif op == "io_report":
+            served = self._served(header)
+            counters = served.job.io_counters()
+            send_frame(
+                sock,
+                {
+                    "op": "io_report",
+                    "job_id": served.job_id,
+                    "report": served.job.io_report(),
+                    "raw": {
+                        "sweep": list(counters["sweep"]),
+                        "pool": list(counters["pool"]),
+                    },
+                },
+            )
+        else:
+            raise ProtocolError(f"unknown operation {op!r}")
+
+    # -- op handlers ----------------------------------------------------
+
+    def _hello(self):
+        sources = {}
+        depth = None
+        n_servers = 1
+        base = self._base_executor
+        engine = getattr(base, "engine", None)
+        if isinstance(base, LocalExecutor):
+            for name, store in engine.stores.items():
+                depth = store.depth
+                sources[name] = {
+                    "schema": schema_to_wire(store.schema),
+                    "ranges": [list(iv) for iv in RangeSet.from_ids(
+                        store.occupied_ids()
+                    ).intervals],
+                    "objects": store.total_objects(),
+                    "bytes": store.total_bytes(),
+                }
+        elif isinstance(base, DistributedExecutor):
+            archive = engine.archive
+            depth = archive.depth
+            n_servers = len(archive.servers)
+            for name in archive.source_schemas():
+                ids = []
+                objects = 0
+                nbytes = 0
+                for server in archive.servers:
+                    store = server.stores()[name]
+                    ids.extend(store.occupied_ids())
+                    objects += store.total_objects()
+                    nbytes += store.total_bytes()
+                sources[name] = {
+                    "schema": schema_to_wire(archive.source_schemas()[name]),
+                    "ranges": [list(iv) for iv in RangeSet.from_ids(ids).intervals],
+                    "objects": objects,
+                    "bytes": nbytes,
+                }
+        return {
+            "op": "hello",
+            "version": PROTOCOL_VERSION,
+            "kind": getattr(base, "kind", "unknown"),
+            "shard_capable": isinstance(base, LocalExecutor),
+            "depth": depth,
+            "n_servers": n_servers,
+            "sources": sources,
+        }
+
+    def _handle_prepare(self, sock, header):
+        prepared = self.session.executor.prepare(
+            header.get("text", ""),
+            allow_tag_route=bool(header.get("allow_tag_route", True)),
+        )
+        send_frame(
+            sock,
+            {
+                "op": "prepared",
+                "schema": schema_to_wire(prepared.schema),
+                "sources": list(prepared.sources),
+                "reports": [report_to_wire(r) for r in prepared.reports],
+                "plan": plan_to_wire(plan_tree(prepared.root)),
+            },
+        )
+
+    def _handle_submit(self, sock, header, conn_job_ids):
+        query_class = header.get("query_class", "interactive")
+        job = self.session.submit(
+            header.get("text", ""),
+            query_class=query_class,
+            allow_tag_route=bool(header.get("allow_tag_route", True)),
+            prepare_kwargs={
+                "mode": header.get("mode", "full"),
+                "select_index": int(header.get("select_index", 0)),
+            },
+        )
+        with self._lock:
+            self._job_counter += 1
+            job_id = f"rjob-{self._job_counter}"
+            self._jobs[job_id] = _ServedJob(job_id, job)
+        conn_job_ids.append(job_id)
+        send_frame(
+            sock,
+            {"op": "accepted", "job_id": job_id, "query_class": query_class},
+        )
+
+    def _served(self, header):
+        job_id = header.get("job_id")
+        with self._lock:
+            served = self._jobs.get(job_id)
+        if served is None:
+            raise ProtocolError(f"unknown job id {job_id!r}")
+        return served
+
+    def _handle_fetch(self, sock, header):
+        served = self._served(header)
+        max_batches = max(
+            1, min(int(header.get("max_batches", 8)), self._MAX_FETCH)
+        )
+        batches = []
+        done = False
+        try:
+            while len(batches) < max_batches:
+                batch = next(served.iterator, None)
+                if batch is None:
+                    done = True
+                    break
+                batches.append(batch)
+        except (ExecutionError, QueryError, SessionError) as exc:
+            # The job failed (or was cancelled) mid-drain: the rows of
+            # this round are moot — the client gets the structured error
+            # and re-raises the original class.
+            send_frame(sock, error_to_wire(exc))
+            return
+        send_frame(
+            sock,
+            {
+                "op": "batches",
+                "job_id": served.job_id,
+                "count": len(batches),
+                "done": done,
+                "state": served.job.state.value,
+            },
+        )
+        for batch in batches:
+            table_header, body = table_to_wire(batch)
+            table_header["op"] = "batch"
+            send_frame(sock, table_header, body)
+
+    def _handle_cancel(self, sock, header):
+        job_id = header.get("job_id")
+        with self._lock:
+            served = self._jobs.get(job_id)
+        if served is not None:
+            served.job.cancel()
+        send_frame(
+            sock,
+            {"op": "ok", "job_id": job_id, "known": served is not None},
+        )
+
+    def __repr__(self):
+        state = "listening" if self._listener is not None else "stopped"
+        return f"ArchiveServer({self.url!r}, {state}, jobs={len(self._jobs)})"
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.net.server
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    """Serve a synthetic archive: ``python -m repro.net.server [options]``."""
+    import argparse
+
+    from repro.catalog import SkySimulator, SurveyParameters, make_tag_table
+    from repro.storage import ContainerStore, DistributedArchive
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.server",
+        description=(
+            "Host a synthetic SDSS-like archive on localhost TCP; connect "
+            'with Archive.connect("archive://HOST:PORT").'
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7744)
+    parser.add_argument("--galaxies", type=int, default=30000)
+    parser.add_argument("--stars", type=int, default=18000)
+    parser.add_argument("--quasars", type=int, default=900)
+    parser.add_argument("--seed", type=int, default=20020101)
+    parser.add_argument("--depth", type=int, default=6,
+                        help="HTM container depth")
+    parser.add_argument(
+        "--servers", type=int, default=1,
+        help="partition servers; >1 hosts a DistributedArchive backend",
+    )
+    args = parser.parse_args(argv)
+
+    photo = SkySimulator(
+        SurveyParameters(
+            n_galaxies=args.galaxies,
+            n_stars=args.stars,
+            n_quasars=args.quasars,
+            seed=args.seed,
+        )
+    ).generate()
+    tags = make_tag_table(photo)
+    if args.servers > 1:
+        archive = DistributedArchive.from_table(
+            photo, depth=args.depth, n_servers=args.servers
+        )
+        archive.attach_source("tag", tags)
+        server = ArchiveServer(archive=archive, host=args.host, port=args.port)
+    else:
+        server = ArchiveServer(
+            stores={
+                "photo": ContainerStore.from_table(photo, depth=args.depth),
+                "tag": ContainerStore.from_table(tags, depth=args.depth),
+            },
+            host=args.host,
+            port=args.port,
+        )
+    server.start()
+    print(
+        f"serving {server.url} — {len(photo)} objects, depth {args.depth}, "
+        f"{args.servers} partition server(s); Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("stopping", flush=True)
+    finally:
+        server.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -122,6 +122,62 @@ class Job:
         """Per-QET-node execution counters (empty before start)."""
         return {} if self._result is None else self._result.node_stats()
 
+    def io_counters(self):
+        """Raw shared-scan I/O counters behind :meth:`io_report`.
+
+        ``containers_*`` are job-scoped sums over the job's scan nodes;
+        ``sweep`` is ``[containers_swept, deliveries]`` and ``pool`` is
+        ``[accesses, hits]`` summed over the distinct sweeps/pools this
+        job touched (``has_sweep``/``has_pool`` flag whether any were
+        seen).  Remote nodes contribute the counters their archive
+        server shipped back in ``io_report`` frames, so telemetry
+        aggregates correctly across the wire.
+        """
+        counters = {
+            "containers_read": 0,
+            "containers_from_pool": 0,
+            "containers_skipped": 0,
+            "sweep": [0, 0],
+            "pool": [0, 0],
+            "has_sweep": False,
+            "has_pool": False,
+        }
+        if self._result is None:
+            return counters
+        sweepers = []
+        pools = []
+        for node, stats in self._result.node_stats().items():
+            counters["containers_read"] += stats.containers_read
+            counters["containers_from_pool"] += stats.containers_from_pool
+            counters["containers_skipped"] += stats.containers_skipped
+            remote_raw = getattr(node, "remote_io_raw", None)
+            if remote_raw is not None:
+                swept, delivered = remote_raw.get("sweep", (0, 0))
+                accesses, hits = remote_raw.get("pool", (0, 0))
+                counters["sweep"][0] += int(swept)
+                counters["sweep"][1] += int(delivered)
+                counters["pool"][0] += int(accesses)
+                counters["pool"][1] += int(hits)
+                counters["has_sweep"] = True
+                counters["has_pool"] = True
+            store = getattr(node, "store", None)
+            if store is None:
+                continue
+            sweeper = store.sweeper()
+            if sweeper not in sweepers:
+                sweepers.append(sweeper)
+            if store.buffer_pool not in pools:
+                pools.append(store.buffer_pool)
+        for sweeper in sweepers:
+            counters["sweep"][0] += sweeper.stats.containers_swept
+            counters["sweep"][1] += sweeper.stats.deliveries
+            counters["has_sweep"] = True
+        for pool in pools:
+            counters["pool"][0] += pool.stats.accesses()
+            counters["pool"][1] += pool.stats.hits
+            counters["has_pool"] = True
+        return counters
+
     def io_report(self):
         """Shared-scan I/O telemetry for this job.
 
@@ -131,40 +187,25 @@ class Job:
         ``sweep_sharing_factor`` and ``buffer_pool_hit_rate`` describe
         the *store-lifetime* behavior of the sweeps and pools this job
         rode — a shared physical read cannot be attributed to one job,
-        so sharing is reported where it happens, at the store.
+        so sharing is reported where it happens, at the store.  For
+        remote jobs the store lives in the server process; its counters
+        arrive over the wire (see :meth:`io_counters`).
         """
+        counters = self.io_counters()
         report = {
-            "containers_read": 0,
-            "containers_from_pool": 0,
-            "containers_skipped": 0,
+            "containers_read": counters["containers_read"],
+            "containers_from_pool": counters["containers_from_pool"],
+            "containers_skipped": counters["containers_skipped"],
             "sweep_sharing_factor": None,
             "buffer_pool_hit_rate": None,
         }
-        if self._result is None:
-            return report
-        sweepers = []
-        pools = []
-        for node, stats in self._result.node_stats().items():
-            report["containers_read"] += stats.containers_read
-            report["containers_from_pool"] += stats.containers_from_pool
-            report["containers_skipped"] += stats.containers_skipped
-            store = getattr(node, "store", None)
-            if store is None:
-                continue
-            sweeper = store.sweeper()
-            if sweeper not in sweepers:
-                sweepers.append(sweeper)
-            if store.buffer_pool not in pools:
-                pools.append(store.buffer_pool)
-        if sweepers:
-            swept = sum(s.stats.containers_swept for s in sweepers)
-            delivered = sum(s.stats.deliveries for s in sweepers)
+        if counters["has_sweep"]:
+            swept, delivered = counters["sweep"]
             report["sweep_sharing_factor"] = (
                 delivered / swept if swept else 1.0
             )
-        if pools:
-            accesses = sum(p.stats.accesses() for p in pools)
-            hits = sum(p.stats.hits for p in pools)
+        if counters["has_pool"]:
+            accesses, hits = counters["pool"]
             report["buffer_pool_hit_rate"] = (
                 hits / accesses if accesses else 0.0
             )
@@ -185,6 +226,12 @@ class Job:
             if self._state is not JobState.QUEUED:
                 return False
             self._state = JobState.RUNNING
+        # A root that wants job context before its threads start (e.g. a
+        # remote node carrying the query class to its archive server)
+        # gets it here.
+        bind = getattr(self._prepared.root, "bind_job", None)
+        if bind is not None:
+            bind(self)
         started_at = start_tree(self._prepared.root)
         result = QueryResult(
             self._prepared.root, started_at, empty_schema=self._prepared.schema
@@ -341,19 +388,30 @@ class Session:
 
     # -- submission -----------------------------------------------------
 
-    def submit(self, text, query_class="interactive", allow_tag_route=True):
+    def submit(
+        self,
+        text,
+        query_class="interactive",
+        allow_tag_route=True,
+        prepare_kwargs=None,
+    ):
         """Classify, schedule, and (for interactive) start one query.
 
         Returns a :class:`Job` immediately: interactive jobs are already
         RUNNING and stream ASAP; batch jobs are QUEUED behind earlier
         batch work and run exclusively in submission order.
+        ``prepare_kwargs`` forwards executor-specific planning options
+        (e.g. the archive server's shard-mode submissions) — the common
+        executors take none.
         """
         if query_class not in self.QUERY_CLASSES:
             raise SessionError(
                 f"unknown query class {query_class!r}; "
                 f"expected one of {self.QUERY_CLASSES}"
             )
-        prepared = self.executor.prepare(text, allow_tag_route=allow_tag_route)
+        prepared = self.executor.prepare(
+            text, allow_tag_route=allow_tag_route, **(prepare_kwargs or {})
+        )
         with self._lock:
             # The closed check, registration, and batch enqueue share
             # one critical section with close(): a submit can never slip
@@ -488,9 +546,14 @@ class Archive:
       built over it),
     * a mapping of source name -> :class:`ContainerStore` (a
       single-store engine is built),
+    * an ``"archive://host:port"`` URL (a
+      :class:`~repro.net.client.RemoteExecutor` speaking the network
+      archive protocol to an :class:`~repro.net.server.ArchiveServer`),
+    * a list of ``archive://`` URLs (remote scatter-gather across
+      partition-server processes via
+      :class:`~repro.net.cluster.RemotePartitionedExecutor`),
     * or any object implementing the
-      :class:`~repro.session.executor.Executor` protocol (e.g. a future
-      remote executor).
+      :class:`~repro.session.executor.Executor` protocol.
     """
 
     @staticmethod
@@ -527,7 +590,23 @@ class Archive:
             )
         target = given[0]
 
-        if isinstance(target, Executor) or (
+        if isinstance(target, str):
+            # "archive://host:port": the network archive protocol.
+            from repro.net.client import RemoteExecutor
+
+            executor = RemoteExecutor.from_url(target)
+        elif (
+            isinstance(target, (list, tuple))
+            and target
+            and all(isinstance(item, str) for item in target)
+        ):
+            # A list of endpoints: remote scatter-gather shards.
+            from repro.net.cluster import RemotePartitionedExecutor
+
+            executor = RemotePartitionedExecutor(
+                target, batch_rows=batch_rows
+            )
+        elif isinstance(target, Executor) or (
             not isinstance(
                 target, (QueryEngine, DistributedQueryEngine, DistributedArchive, dict)
             )

@@ -126,8 +126,34 @@ def plan_tree(root):
     carry their :class:`~repro.distributed.routing.ShardFanoutReport`
     (``servers``/``pruned``), and each shard sub-tree is labelled with
     the partition server it would run on.
+
+    A remote node (the leaf of an ``archive://`` session) carries the
+    *server-rendered* plan tree — derived from the server's executable
+    QET by this same function, shipped back in the ``prepare`` frame —
+    so explaining a remote query shows the real scans and merges that
+    would run in the server process, annotated with the endpoint.
     """
+    remote_plan = getattr(root, "remote_plan", None)
+    endpoint = getattr(root, "endpoint", None)
+    if remote_plan is not None:
+        annotated = PlanTree(
+            kind=remote_plan.kind,
+            detail=dict(remote_plan.detail),
+            children=list(remote_plan.children),
+        )
+        if endpoint is not None:
+            host, port = endpoint
+            annotated.detail["endpoint"] = f"archive://{host}:{port}"
+        return annotated
     detail = dict(_detail_for(root))
+    if endpoint is not None:
+        # A shard-mode remote leaf (no server plan shipped): record the
+        # endpoint and subquery it fans out to.
+        host, port = endpoint
+        detail["endpoint"] = f"archive://{host}:{port}"
+        mode = getattr(root, "mode", None)
+        if mode is not None:
+            detail["mode"] = mode
     report = getattr(root, "fanout_report", None)
     if report is not None:
         detail["servers"] = list(report.touched_server_ids)

@@ -1,0 +1,150 @@
+"""Remote scatter-gather: partition servers in other processes.
+
+A 3-way partitioning of the shared catalog is hosted behind three
+in-process :class:`ArchiveServer`\\ s (one per partition, exactly the
+shape a real deployment gives each partition server), and
+``Archive.connect([url, url, url])`` must agree with the single-store
+engine row for row — merges, partial aggregates, set operations and HTM
+endpoint pruning included.
+"""
+
+import pytest
+
+from repro.distributed.routing import route_plan
+from repro.net import ArchiveServer, RemotePartitionedExecutor
+from repro.query.optimizer import plan_query, shard_candidates
+from repro.query.parser import parse_query
+from repro.session import Archive
+from repro.storage import DistributedArchive
+
+CLUSTER_CORPUS = [
+    ("SELECT objid FROM photo WHERE mag_r < 16", "rows"),
+    ("SELECT objid FROM photo WHERE CIRCLE(40, 30, 5)", "rows"),
+    ("SELECT objid FROM photo WHERE mag_r < 0", "rows"),  # empty bag
+    ("SELECT objid, mag_r FROM photo WHERE mag_r < 17 ORDER BY mag_r, objid", "ordered"),
+    ("SELECT objid, mag_r FROM photo ORDER BY mag_r DESC, objid LIMIT 25", "ordered"),
+    (
+        "SELECT objtype, AVG(mag_r) AS m, COUNT(objid) AS n FROM photo "
+        "WHERE mag_r < 19 GROUP BY objtype",
+        "ordered",
+    ),
+    (
+        "SELECT objtype, COUNT(objid) AS n FROM photo "
+        "GROUP BY objtype HAVING n > 100 ORDER BY n DESC",
+        "ordered",
+    ),
+    (
+        "(SELECT objid FROM photo WHERE mag_r < 16) UNION "
+        "(SELECT objid FROM photo WHERE mag_u < 17)",
+        "rows",
+    ),
+    (
+        "(SELECT objid FROM photo WHERE mag_r < 18) INTERSECT "
+        "(SELECT objid FROM photo WHERE objtype = QUASAR)",
+        "rows",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def partitioned_archive(photo, tags):
+    """A 3-server partitioning of the shared catalog (read-only)."""
+    archive = DistributedArchive.from_table(photo, depth=5, n_servers=3)
+    archive.attach_source("tag", tags)
+    return archive
+
+
+@pytest.fixture(scope="module")
+def shard_servers(partitioned_archive):
+    """One ArchiveServer per partition, hosting that server's stores."""
+    servers = [
+        ArchiveServer(stores=node.stores()).start()
+        for node in partitioned_archive.servers
+    ]
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture(scope="module")
+def cluster_session(shard_servers):
+    urls = [server.url for server in shard_servers]
+    with Archive.connect(urls) as session:
+        yield session
+
+
+@pytest.mark.parametrize("query,mode", CLUSTER_CORPUS)
+def test_cluster_agrees_with_local(
+    engine, cluster_session, same_rows, query, mode
+):
+    expected = engine.query_table(query)
+    got = cluster_session.query_table(query)
+    same_rows(expected, got, ordered=(mode == "ordered"))
+
+    # Batch class rides the same scatter-gather.
+    job = cluster_session.submit(query, query_class="batch")
+    assert job.wait(timeout=60).value == "done"
+    same_rows(expected, job.cursor.to_table(), ordered=(mode == "ordered"))
+
+
+def test_cluster_prunes_endpoints_conservatively(
+    cluster_session, partitioned_archive, engine
+):
+    """A spatially-selective query skips endpoints whose advertised
+    container ranges miss the cover — and never one the in-process
+    router would have touched *and* that actually holds candidate
+    containers."""
+    query = "SELECT objid FROM photo WHERE CIRCLE(40, 30, 5)"
+    prepared = cluster_session.executor.prepare(query)
+    report = prepared.reports[0]
+    assert report.servers_total == 3
+    assert sorted(report.touched_server_ids + report.pruned_server_ids) == [
+        0,
+        1,
+        2,
+    ]
+    assert report.pruned_server_ids, "a 5-degree cone must prune shards"
+
+    plan = plan_query(parse_query(query), engine.schemas)
+    _coverage, candidates = shard_candidates(plan, partitioned_archive.depth)
+    local_touched, _local_report = route_plan(
+        partitioned_archive, plan.routed_source, candidates
+    )
+    assert set(report.touched_server_ids) <= {
+        node.server_id for node in local_touched
+    }
+    # Correctness despite pruning: the cone's rows are complete.
+    assert len(cluster_session.query_table(query)) == len(
+        engine.query_table(query)
+    )
+
+
+def test_cluster_explain_shows_remote_fanout(cluster_session):
+    tree = cluster_session.explain(
+        "SELECT objid, mag_r FROM photo WHERE mag_r < 18 ORDER BY mag_r"
+    )
+    rendering = tree.render()
+    assert "remote" in rendering
+    assert "mode=shard" in rendering
+    fanout_nodes = [n for n in tree.walk() if "servers" in n.detail]
+    assert fanout_nodes, "cluster explain must surface the fan-out"
+    remotes = tree.find("remote")
+    assert remotes and all("endpoint" in n.detail for n in remotes)
+
+
+def test_cluster_rejects_non_shard_endpoints(partitioned_archive):
+    """A distributed-backend server cannot serve shard-mode queries; the
+    coordinator must refuse it up front."""
+    with ArchiveServer(archive=partitioned_archive) as server:
+        with pytest.raises(ValueError, match="shard-mode"):
+            RemotePartitionedExecutor([server.url])
+
+
+def test_cluster_survives_scale_mismatch_probe(shard_servers):
+    """hello-based construction validates depth agreement."""
+    executor = RemotePartitionedExecutor(
+        [server.url for server in shard_servers]
+    )
+    assert len(executor.shards) == 3
+    assert executor.depth == 5
+    assert set(executor.schemas) == {"photo", "tag"}
