@@ -58,6 +58,29 @@ CATALOG = SurveyParameters(
 )
 
 
+def _query_stats(cursor, table):
+    """The per-query core metrics: latency, throughput, and the
+    morsel-coalescing telemetry (vectorized predicate/region passes —
+    one per morsel, not one per container — and root batch count)."""
+    stats = cursor.node_stats()
+    root_stats = next(iter(stats.values()))
+    completion = cursor.time_to_completion
+    return {
+        "rows": int(len(table)),
+        "time_to_first_row_ms": (
+            None
+            if cursor.time_to_first_row is None
+            else round(cursor.time_to_first_row * 1e3, 3)
+        ),
+        "time_to_completion_ms": round(completion * 1e3, 3),
+        "predicate_evals": int(sum(s.predicate_evals for s in stats.values())),
+        "batches": int(root_stats.batches_out),
+        "rows_per_sec": (
+            None if completion <= 0 else int(len(table) / completion)
+        ),
+    }
+
+
 def _bench_session(session):
     telemetry = getattr(session.executor, "telemetry", None)
     queries = {}
@@ -66,23 +89,44 @@ def _bench_session(session):
         cursor = session.execute(text)
         table = cursor.to_table()
         io = cursor.io_report()
-        queries[name] = {
-            "rows": int(len(table)),
-            "time_to_first_row_ms": (
-                None
-                if cursor.time_to_first_row is None
-                else round(cursor.time_to_first_row * 1e3, 3)
-            ),
-            "time_to_completion_ms": round(cursor.time_to_completion * 1e3, 3),
-            "containers_read": io["containers_read"],
-            "containers_from_pool": io["containers_from_pool"],
-            "containers_skipped": io["containers_skipped"],
-        }
+        entry = _query_stats(cursor, table)
+        entry["containers_read"] = io["containers_read"]
+        entry["containers_from_pool"] = io["containers_from_pool"]
+        entry["containers_skipped"] = io["containers_skipped"]
         if telemetry is not None:
-            queries[name]["wire_round_trips"] = (
-                telemetry.snapshot() - trips_before
-            )
+            entry["wire_round_trips"] = telemetry.snapshot() - trips_before
+        queries[name] = entry
     return queries
+
+
+#: Batch-size sweep: how the morsel target trades per-container overhead
+#: against time-to-first-row.  0 = per-container evaluation (the
+#: pre-morsel execution model, kept as the comparison baseline).
+SWEEP_BATCH_ROWS = (0, 4096, 65536)
+SWEEP_QUERIES = ("full_scan_stream", "grouped_aggregate", "order_limit_topk")
+
+
+def _bench_batch_size_sweep(photo, tags):
+    stores = {
+        "photo": ContainerStore.from_table(photo, depth=6),
+        "tag": ContainerStore.from_table(tags, depth=6),
+    }
+    corpus = dict(CORPUS)
+    # One warm-up lap so the shared BufferPool is equally hot for every
+    # label — otherwise the first label alone pays the cold reads and
+    # the comparison measures pool state, not the batch-size effect.
+    with Archive.connect(stores=stores) as warmup:
+        warmup.query_table(corpus["full_scan_stream"])
+    sweep = {}
+    for batch_rows in SWEEP_BATCH_ROWS:
+        label = "per_container" if batch_rows <= 0 else str(batch_rows)
+        with Archive.connect(stores=stores, batch_rows=batch_rows) as session:
+            entries = {}
+            for name in SWEEP_QUERIES:
+                cursor = session.execute(corpus[name])
+                entries[name] = _query_stats(cursor, cursor.to_table())
+            sweep[label] = entries
+    return sweep
 
 
 def _bench_concurrent(photo):
@@ -170,6 +214,7 @@ def main():
             "remote": _bench_session(remote),
         },
         "concurrent": _bench_concurrent(photo),
+        "batch_size_sweep": _bench_batch_size_sweep(photo, tags),
     }
     payload["wall_seconds"] = round(time.perf_counter() - started, 3)
     local.close()

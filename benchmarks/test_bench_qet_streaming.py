@@ -10,6 +10,8 @@ shapes, contrasted with a sort node (a pipeline breaker, the paper's
 stated exception).
 """
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
@@ -22,6 +24,27 @@ def run_and_time(engine, query):
     for batch in result:
         rows += len(batch)
     return result.time_to_first_row, result.time_to_completion, rows
+
+
+@contextmanager
+def paced(engine):
+    """Pace every sweeper of ``engine`` so a full lap takes ~1s.
+
+    An unthrottled in-memory lap finishes in tens of milliseconds —
+    scheduling-noise territory for ratio assertions; the paper's
+    streaming claims are about *long* scans, so the claims are measured
+    on a paced sweep.  Every store is paced because queries tag-route.
+    """
+    sweepers = [store.sweeper() for store in engine.stores.values()]
+    n_containers = max(len(s.containers) for s in engine.stores.values())
+    saved = [sweeper.throttle for sweeper in sweepers]
+    for sweeper in sweepers:
+        sweeper.throttle = max(0.5 / max(n_containers, 1), 0.00005)
+    try:
+        yield
+    finally:
+        for sweeper, throttle in zip(sweepers, saved):
+            sweeper.throttle = throttle
 
 
 def test_bench_asap_push(benchmark, bench_engine):
@@ -54,10 +77,19 @@ def test_bench_asap_push(benchmark, bench_engine):
         rows,
     )
 
-    # Streaming queries must deliver the first row in a small fraction of
-    # the total time; the sort node cannot (it drains its child first).
-    sweep_ttfr, sweep_ttc = measured["full sweep"]
+    # The ASAP claim proper, on a genuinely long (paced) scan: the
+    # ramp-up morsel must deliver first rows while the lap is still
+    # almost entirely pending.
+    with paced(bench_engine):
+        sweep_ttfr, sweep_ttc, _rows = run_and_time(
+            bench_engine, "SELECT objid FROM photo"
+        )
+    print(
+        f"paced sweep: first row {sweep_ttfr * 1e3:.1f} ms of "
+        f"{sweep_ttc * 1e3:.1f} ms total"
+    )
     assert sweep_ttfr < 0.25 * sweep_ttc
+    # The sort node cannot stream (it drains its child first).
     sort_ttfr, sort_ttc = measured["sorted (pipeline breaker)"]
     assert sort_ttfr > 0.5 * sort_ttc
 
@@ -74,7 +106,18 @@ def test_bench_limit_cancels_early(benchmark, bench_engine):
     total = sum(len(b) for b in full)
     print(f"\nLIMIT 50: {limited.time_to_completion * 1e3:.1f} ms vs full "
           f"{total}-row drain {full.time_to_completion * 1e3:.1f} ms")
-    assert limited.time_to_completion < full.time_to_completion
+
+    # The assertion proper runs on a paced sweep — unthrottled, the
+    # whole lap fits inside scheduling noise.  Paced, LIMIT 50 ends at
+    # the first ramp morsel: a small fraction of the lap.
+    with paced(bench_engine):
+        paced_limited = bench_engine.execute("SELECT objid FROM photo LIMIT 50")
+        assert sum(len(b) for b in paced_limited) == 50
+        paced_full = bench_engine.execute("SELECT objid FROM photo")
+        sum(len(b) for b in paced_full)
+    print(f"paced: LIMIT 50 {paced_limited.time_to_completion * 1e3:.1f} ms "
+          f"vs full drain {paced_full.time_to_completion * 1e3:.1f} ms")
+    assert paced_limited.time_to_completion < 0.5 * paced_full.time_to_completion
 
 
 def test_bench_intersect_waits_for_right_child(benchmark, bench_engine):

@@ -115,8 +115,14 @@ class Schema:
         return [f.name for f in self.fields]
 
     def numpy_dtype(self):
-        """Packed numpy structured dtype for this schema."""
-        return np.dtype([f.numpy_descr() for f in self.fields])
+        """Packed numpy structured dtype for this schema (cached —
+        schemas are immutable, and this sits under every ObjectTable
+        construction on the hot scan path)."""
+        dtype = getattr(self, "_numpy_dtype", None)
+        if dtype is None:
+            dtype = np.dtype([f.numpy_descr() for f in self.fields])
+            self._numpy_dtype = dtype
+        return dtype
 
     def record_nbytes(self):
         """Bytes per packed record."""

@@ -26,6 +26,7 @@ from repro.query.ast_nodes import Select, SetOp
 from repro.query.engine import QueryResult, start_tree
 from repro.query.errors import PlanError
 from repro.query.optimizer import (
+    fused_top_k,
     output_schema_for,
     plan_query,
     shard_candidates,
@@ -43,6 +44,7 @@ from repro.query.qet import (
     ProjectNode,
     ScanNode,
     SortNode,
+    TopKNode,
     UnionNode,
 )
 
@@ -68,10 +70,18 @@ def build_shard_tree(store, sharded, coverage, batch_rows=4096):
         return AggregateNode(
             node, shard.group_specs, shard.aggregate_specs, shard.output_order
         )
-    if shard.order_key_fns:
-        node = SortNode(node, shard.order_key_fns, shard.order_descending)
-    if shard.limit is not None:
-        node = LimitNode(node, shard.limit)
+    top_k = fused_top_k(shard)
+    if top_k is not None:
+        # Each shard needs at most the global top-k: the fused node
+        # keeps the shard's candidate set bounded too.
+        node = TopKNode(
+            node, shard.order_key_fns, shard.order_descending, top_k
+        )
+    else:
+        if shard.order_key_fns:
+            node = SortNode(node, shard.order_key_fns, shard.order_descending)
+        if shard.limit is not None:
+            node = LimitNode(node, shard.limit)
     if shard.projection:
         node = ProjectNode(node, shard.projection)
     return node
@@ -97,9 +107,14 @@ def build_merge_tree(shard_roots, sharded, batch_rows=4096):
         node = ProjectNode(node, merge.final_projection)
         if merge.having_fn is not None:
             node = FilterNode(node, merge.having_fn)
-        if merge.order_key_fns:
+        top_k = fused_top_k(merge)  # MergeSpec quacks like a plan here
+        if top_k is not None:
+            node = TopKNode(
+                node, merge.order_key_fns, merge.order_descending, top_k
+            )
+        elif merge.order_key_fns:
             node = SortNode(node, merge.order_key_fns, merge.order_descending)
-        if merge.limit is not None:
+        elif merge.limit is not None:
             node = LimitNode(node, merge.limit)
         return node
     if merge.kind == "ordered":

@@ -148,11 +148,22 @@ class SweepSubscription:
         Deliveries travel as *runs* (the scanner batches consecutive
         containers per push to keep handoff overhead off the hot path);
         iteration flattens them back to per-container granularity.
+        Consumers that batch their own work (the morsel-coalescing
+        :class:`~repro.query.qet.ScanNode`) should use
+        :meth:`iter_runs` instead and keep the run structure.
         """
         if self.stream is None:
             raise TypeError("a sink-based (manual) subscription is not iterable")
         for run in self.stream:
             yield from run
+
+    def iter_runs(self):
+        """Yield whole delivery runs (lists of ``(htm_id, table,
+        from_pool)``) as the sweep pushed them — the coalescing read
+        path: one handoff, one iteration step, many containers."""
+        if self.stream is None:
+            raise TypeError("a sink-based (manual) subscription is not iterable")
+        return iter(self.stream)
 
     # -- scanner side ---------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.net.client import (
     RemoteExecutor,
     RemoteRootNode,
     WireTelemetry,
+    parse_archive_options,
     parse_archive_url,
 )
 from repro.net.cluster import RemotePartitionedExecutor, RemoteShard
@@ -59,6 +60,7 @@ __all__ = [
     "RemotePartitionedExecutor",
     "RemoteShard",
     "WireTelemetry",
+    "parse_archive_options",
     "parse_archive_url",
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -29,6 +29,7 @@ import socket
 import threading
 
 from repro.net.protocol import (
+    SUPPORTED_COMPRESSION,
     ConnectionClosed,
     ProtocolError,
     RemoteArchiveError,
@@ -48,20 +49,39 @@ __all__ = [
     "RemoteExecutor",
     "RemoteRootNode",
     "parse_archive_url",
+    "parse_archive_options",
     "open_connection",
 ]
 
 
 def parse_archive_url(url):
-    """``archive://host:port`` -> ``(host, port)``."""
+    """``archive://host:port[?options]`` -> ``(host, port)``."""
     prefix = "archive://"
     if not url.startswith(prefix):
         raise ValueError(f"not an archive URL: {url!r} (expected {prefix}host:port)")
-    rest = url[len(prefix) :].strip("/")
+    rest = url[len(prefix) :].split("?", 1)[0].strip("/")
     host, sep, port = rest.rpartition(":")
     if not sep or not host or not port.isdigit():
         raise ValueError(f"archive URL needs host:port, got {url!r}")
     return host, int(port)
+
+
+def parse_archive_options(url):
+    """``?key=value&...`` options of an archive URL as a dict.
+
+    Recognized keys: ``compress`` (a table-frame codec name, e.g.
+    ``archive://host:port?compress=zlib``).
+    """
+    parts = url.split("?", 1)
+    if len(parts) == 1 or not parts[1]:
+        return {}
+    options = {}
+    for item in parts[1].split("&"):
+        key, sep, value = item.partition("=")
+        if not key:
+            raise ValueError(f"malformed archive URL option {item!r} in {url!r}")
+        options[key] = value if sep else ""
+    return options
 
 
 def open_connection(endpoint, connect_timeout=5.0, timeout=None):
@@ -156,6 +176,7 @@ class RemoteRootNode(QETNode):
         timeout=None,
         fetch_batches=8,
         server_id=None,
+        compression=None,
     ):
         super().__init__(())
         self.output = _CancelSignallingStream()
@@ -165,6 +186,10 @@ class RemoteRootNode(QETNode):
         self.allow_tag_route = allow_tag_route
         self.mode = mode
         self.select_index = int(select_index)
+        #: table-frame codec to request from the server (None = raw);
+        #: the server's choice comes back in the ``accepted`` frame and
+        #: decompression is transparent in ``table_from_wire``
+        self.compression = compression
         #: the server-rendered PlanTree (``session.explain`` passthrough)
         self.remote_plan = remote_plan
         self.telemetry = telemetry
@@ -176,6 +201,8 @@ class RemoteRootNode(QETNode):
         #: query class forwarded to the server-side session (bound by
         #: the owning Job just before the tree starts)
         self.query_class = "interactive"
+        #: codec the server actually agreed to (set at submit time)
+        self.negotiated_compression = None
         #: server-side job id once accepted
         self.remote_job_id = None
         #: serialized per-node NodeStats from the server (after drain)
@@ -280,18 +307,23 @@ class RemoteRootNode(QETNode):
                 pass
 
     def _stream(self, sock):
-        accepted, _ = _request(
-            sock,
-            {
-                "op": "submit",
-                "text": self.text,
-                "allow_tag_route": self.allow_tag_route,
-                "query_class": self.query_class,
-                "mode": self.mode,
-                "select_index": self.select_index,
-            },
-            telemetry=self.telemetry,
-        )
+        submit = {
+            "op": "submit",
+            "text": self.text,
+            "allow_tag_route": self.allow_tag_route,
+            "query_class": self.query_class,
+            "mode": self.mode,
+            "select_index": self.select_index,
+        }
+        if self.compression in SUPPORTED_COMPRESSION:
+            # only advertise codecs this build can also decode — a codec
+            # a newer server speaks but we cannot must degrade to raw at
+            # submit time, not fail mid-stream on the first large batch
+            submit["accept_compression"] = [self.compression]
+        accepted, _ = _request(sock, submit, telemetry=self.telemetry)
+        #: what the server actually chose (None when it spoke no
+        #: requested codec — older servers simply ignore the field)
+        self.negotiated_compression = accepted.get("compression")
         with self._sock_lock:
             self.remote_job_id = accepted.get("job_id")
         done = False
@@ -345,6 +377,8 @@ class RemoteRootNode(QETNode):
             self.stats.containers_skipped += int(
                 node.get("containers_skipped", 0)
             )
+            self.stats.predicate_evals += int(node.get("predicate_evals", 0))
+            self.stats.note_buffered(int(node.get("peak_buffered_rows", 0)))
         self.remote_io = io.get("report")
         self.remote_io_raw = io.get("raw")
 
@@ -377,16 +411,25 @@ class RemoteExecutor(Executor):
         connect_timeout=5.0,
         timeout=None,
         fetch_batches=8,
+        compression=None,
     ):
         self.endpoint = (host, int(port))
         self.connect_timeout = connect_timeout
         self.timeout = timeout
         self.fetch_batches = fetch_batches
+        #: table-frame codec to request for result streams (e.g.
+        #: ``"zlib"``); servers that do not speak it fall back to raw
+        #: frames, so this is always safe to set
+        self.compression = compression
         self.telemetry = WireTelemetry()
 
     @classmethod
     def from_url(cls, url, **kwargs):
+        """Build from ``archive://host:port[?compress=zlib]``."""
         host, port = parse_archive_url(url)
+        options = parse_archive_options(url)
+        if "compress" in options and "compression" not in kwargs:
+            kwargs["compression"] = options["compress"] or "zlib"
         return cls(host, port, **kwargs)
 
     @property
@@ -433,6 +476,7 @@ class RemoteExecutor(Executor):
             connect_timeout=self.connect_timeout,
             timeout=self.timeout,
             fetch_batches=self.fetch_batches,
+            compression=self.compression,
         )
         return PreparedQuery(
             text=text,

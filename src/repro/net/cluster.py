@@ -33,6 +33,7 @@ from repro.net.client import (
     RemoteExecutor,
     RemoteRootNode,
     WireTelemetry,
+    parse_archive_options,
     parse_archive_url,
 )
 from repro.net.protocol import schema_from_wire
@@ -103,6 +104,7 @@ class RemotePartitionedExecutor(Executor):
         timeout=None,
         fetch_batches=8,
         batch_rows=4096,
+        compression=None,
     ):
         urls = list(urls)
         if not urls:
@@ -111,6 +113,16 @@ class RemotePartitionedExecutor(Executor):
         self.timeout = timeout
         self.fetch_batches = fetch_batches
         self.batch_rows = int(batch_rows)
+        if compression is None:
+            # honor ?compress=zlib URL options (any endpoint opts the
+            # whole cluster in — shard streams share one codec choice)
+            for url in urls:
+                options = parse_archive_options(url)
+                if "compress" in options:
+                    compression = options["compress"] or "zlib"
+                    break
+        #: table-frame codec requested on every shard submission
+        self.compression = compression
         self.telemetry = WireTelemetry()
         self.shards = []
         for shard_id, url in enumerate(urls):
@@ -214,6 +226,7 @@ class RemotePartitionedExecutor(Executor):
                     timeout=self.timeout,
                     fetch_batches=self.fetch_batches,
                     server_id=shard.shard_id,
+                    compression=self.compression,
                 )
             )
         root = build_merge_tree(shard_roots, sharded, batch_rows=self.batch_rows)

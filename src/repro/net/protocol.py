@@ -22,8 +22,10 @@ Operations
 ----------
 ``hello``
     Server metadata: backend kind, hosted sources with their schemas,
-    container depth, and each source's occupied container-id ranges (the
-    coordinator's basis for remote shard pruning).
+    container depth, each source's occupied container-id ranges (the
+    coordinator's basis for remote shard pruning), and the table-frame
+    compression codecs the server speaks (the client's basis for
+    negotiating compressed result streams).
 ``prepare``
     Parse + plan a query server-side without starting it; returns the
     static output schema, fan-out reports, routed sources, and the
@@ -60,6 +62,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 import numpy as np
 
@@ -72,6 +75,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "TRUSTED_ERROR_MODULES",
+    "SUPPORTED_COMPRESSION",
+    "negotiate_compression",
     "ProtocolError",
     "ConnectionClosed",
     "RemoteArchiveError",
@@ -236,21 +241,58 @@ def schema_from_wire(wire):
     )
 
 
-def table_to_wire(table):
+#: Table-frame compression codecs this build speaks, in preference
+#: order.  Negotiated per submission: the client advertises what it
+#: accepts, the server picks the first codec both sides know (or none).
+SUPPORTED_COMPRESSION = ("zlib",)
+
+#: Bodies below this stay uncompressed — zlib overhead beats the win on
+#: tiny frames (aggregate rows, empty batches).
+_COMPRESS_MIN_BYTES = 512
+
+
+def negotiate_compression(accepted):
+    """First mutually-supported codec of an ``accept_compression`` list,
+    or ``None`` (unknown codecs are skipped, never an error — an older
+    peer simply falls back to raw frames)."""
+    for codec in accepted or ():
+        if codec in SUPPORTED_COMPRESSION:
+            return codec
+    return None
+
+
+def table_to_wire(table, compression=None):
     """ObjectTable -> ``(header_fields, body)``: schema JSON + packed rows.
 
     The body is the structured array's packed bytes; the header carries
     the schema and row count, so the receiver rebuilds the exact dtype.
+    With ``compression`` (a negotiated codec name), large bodies are
+    compressed and the header records the codec — the receiver's
+    :func:`table_from_wire` is transparently symmetric.
     """
     data = np.ascontiguousarray(table.data)
-    return (
-        {"schema": schema_to_wire(table.schema), "rows": len(table)},
-        data.tobytes(),
-    )
+    header = {"schema": schema_to_wire(table.schema), "rows": len(table)}
+    body = data.tobytes()
+    if compression is not None and len(body) >= _COMPRESS_MIN_BYTES:
+        if compression != "zlib":
+            raise ProtocolError(f"unknown compression codec {compression!r}")
+        compressed = zlib.compress(body, 1)
+        if len(compressed) < len(body):
+            header["compression"] = "zlib"
+            body = compressed
+    return header, body
 
 
 def table_from_wire(header, body):
-    """Inverse of :func:`table_to_wire`."""
+    """Inverse of :func:`table_to_wire` (decompressing when marked)."""
+    codec = header.get("compression")
+    if codec is not None:
+        if codec != "zlib":
+            raise ProtocolError(f"unknown compression codec {codec!r}")
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as exc:
+            raise ProtocolError(f"undecodable compressed table: {exc}") from exc
     schema = schema_from_wire(header["schema"])
     rows = int(header.get("rows", 0))
     dtype = schema.numpy_dtype()
@@ -318,6 +360,8 @@ def node_stats_to_wire(node_stats):
             "containers_read": stats.containers_read,
             "containers_from_pool": stats.containers_from_pool,
             "containers_skipped": stats.containers_skipped,
+            "predicate_evals": stats.predicate_evals,
+            "peak_buffered_rows": stats.peak_buffered_rows,
         }
         for node, stats in node_stats.items()
     ]

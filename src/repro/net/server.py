@@ -44,9 +44,11 @@ from repro.distributed.engine import build_shard_tree
 from repro.htm.ranges import RangeSet
 from repro.net.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_COMPRESSION,
     ConnectionClosed,
     ProtocolError,
     error_to_wire,
+    negotiate_compression,
     node_stats_to_wire,
     plan_to_wire,
     recv_frame,
@@ -169,12 +171,14 @@ class _ServedJob:
     """One remote submission: the server-side session job plus the
     connection-independent drain state."""
 
-    __slots__ = ("job_id", "job", "iterator")
+    __slots__ = ("job_id", "job", "iterator", "compression")
 
-    def __init__(self, job_id, job):
+    def __init__(self, job_id, job, compression=None):
         self.job_id = job_id
         self.job = job
         self.iterator = iter(job.cursor)
+        #: negotiated table-frame codec for this job's result stream
+        self.compression = compression
 
 
 class ArchiveServer:
@@ -476,6 +480,9 @@ class ArchiveServer:
             "depth": depth,
             "n_servers": n_servers,
             "sources": sources,
+            # codecs this server can apply to result table frames; a
+            # client requests one per submission via accept_compression
+            "compression": list(SUPPORTED_COMPRESSION),
         }
 
     def _handle_prepare(self, sock, header):
@@ -505,14 +512,20 @@ class ArchiveServer:
                 "select_index": int(header.get("select_index", 0)),
             },
         )
+        compression = negotiate_compression(header.get("accept_compression"))
         with self._lock:
             self._job_counter += 1
             job_id = f"rjob-{self._job_counter}"
-            self._jobs[job_id] = _ServedJob(job_id, job)
+            self._jobs[job_id] = _ServedJob(job_id, job, compression=compression)
         conn_job_ids.append(job_id)
         send_frame(
             sock,
-            {"op": "accepted", "job_id": job_id, "query_class": query_class},
+            {
+                "op": "accepted",
+                "job_id": job_id,
+                "query_class": query_class,
+                "compression": compression,
+            },
         )
 
     def _served(self, header):
@@ -532,6 +545,12 @@ class ArchiveServer:
         done = False
         try:
             while len(batches) < max_batches:
+                if batches and not served.job.cursor.has_ready_batch():
+                    # ASAP contract over the wire: once something can be
+                    # forwarded, never stall the response waiting for a
+                    # fuller page — with coalesced morsels a "page" of
+                    # max_batches might otherwise be the whole result.
+                    break
                 batch = next(served.iterator, None)
                 if batch is None:
                     done = True
@@ -554,7 +573,9 @@ class ArchiveServer:
             },
         )
         for batch in batches:
-            table_header, body = table_to_wire(batch)
+            table_header, body = table_to_wire(
+                batch, compression=served.compression
+            )
             table_header["op"] = "batch"
             send_frame(sock, table_header, body)
 

@@ -27,7 +27,7 @@ import time
 from repro.catalog.table import ObjectTable
 from repro.query.ast_nodes import Select, SetOp
 from repro.query.errors import PlanError
-from repro.query.optimizer import output_schema_for, plan_query
+from repro.query.optimizer import fused_top_k, output_schema_for, plan_query
 from repro.query.parser import parse_query
 from repro.query.qet import (
     AggregateNode,
@@ -38,6 +38,7 @@ from repro.query.qet import (
     ProjectNode,
     ScanNode,
     SortNode,
+    TopKNode,
     UnionNode,
 )
 
@@ -142,6 +143,10 @@ class QueryResult:
         """Mapping of node -> stats for the whole tree."""
         return {node: node.stats for node in self._root.walk()}
 
+    def pending_batches(self):
+        """Batches already produced and waiting at the root (approximate)."""
+        return self._root.output.pending()
+
 
 class QueryEngine:
     """Query façade over the archive's physical stores.
@@ -154,13 +159,20 @@ class QueryEngine:
         enables automatic tag routing of eligible photo queries.
     density_maps:
         Optional per-source :class:`DensityMap` for cost estimates.
+    batch_rows:
+        Target rows per execution morsel: scans coalesce delivered
+        containers into batches of roughly this size before each
+        vectorized predicate pass (and emit batches of at most this
+        size).  Non-positive disables coalescing — one evaluation per
+        container, the pre-morsel behavior kept for benchmarks.
     """
 
-    def __init__(self, stores, density_maps=None):
+    def __init__(self, stores, density_maps=None, batch_rows=4096):
         if not stores:
             raise ValueError("QueryEngine needs at least one store")
         self.stores = dict(stores)
         self.density_maps = dict(density_maps or {})
+        self.batch_rows = int(batch_rows)
         self.schemas = {name: store.schema for name, store in self.stores.items()}
 
     # ------------------------------------------------------------------
@@ -208,23 +220,37 @@ class QueryEngine:
         return root, output_schema_for(plan, self.schemas), [plan]
 
     def _select_tree(self, plan):
-        """The single-store QET for one planned SELECT."""
+        """The single-store QET for one planned SELECT.
+
+        ``ORDER BY ... LIMIT k`` fuses into a streaming
+        :class:`TopKNode` (bounded candidate buffer) instead of the
+        full-materialize ``SortNode -> LimitNode`` pair.
+        """
         store = self.stores[plan.routed_source]
-        node = ScanNode(store, plan)
+        node = ScanNode(store, plan, batch_rows=self.batch_rows)
+        top_k = fused_top_k(plan)
         if plan.is_aggregate:
             node = AggregateNode(
                 node, plan.group_specs, plan.aggregate_specs, plan.output_order
             )
             if plan.having_fn is not None:
                 node = FilterNode(node, plan.having_fn)
-            if plan.order_key_fns:
+            if top_k is not None:
+                node = TopKNode(
+                    node, plan.order_key_fns, plan.order_descending, top_k
+                )
+            elif plan.order_key_fns:
                 node = SortNode(node, plan.order_key_fns, plan.order_descending)
-            if plan.limit is not None:
+            elif plan.limit is not None:
                 node = LimitNode(node, plan.limit)
             return node
-        if plan.order_key_fns:
+        if top_k is not None:
+            node = TopKNode(
+                node, plan.order_key_fns, plan.order_descending, top_k
+            )
+        elif plan.order_key_fns:
             node = SortNode(node, plan.order_key_fns, plan.order_descending)
-        if plan.limit is not None:
+        elif plan.limit is not None:
             node = LimitNode(node, plan.limit)
         if plan.projection:
             node = ProjectNode(node, plan.projection)

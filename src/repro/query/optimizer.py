@@ -45,6 +45,7 @@ __all__ = [
     "QueryPlan",
     "plan_query",
     "output_schema_for",
+    "fused_top_k",
     "AGGREGATE_FUNCTIONS",
     "MergeSpec",
     "ShardedPlan",
@@ -291,6 +292,22 @@ def plan_query(select, schemas, density_maps=None, allow_tag_route=True):
     if region is not None and density_maps and routed in density_maps:
         plan.estimate = density_maps[routed].estimate(region)
     return plan
+
+
+def fused_top_k(plan):
+    """The ``ORDER BY ... LIMIT k`` fusion decision for one plan.
+
+    Returns ``k`` when the plan should run a streaming
+    :class:`~repro.query.qet.TopKNode` in place of the
+    ``SortNode -> LimitNode`` pipeline breaker, else ``None``.  Every
+    tree builder (local, shard sub-plan, coordinator merge tail) asks
+    this one predicate, so the fusion is pushed down uniformly — a
+    shard's LIMIT copy becomes a shard-local top-k, and a remote
+    shard-mode submission re-derives the same fused tree server-side.
+    """
+    if plan.order_key_fns and plan.limit is not None:
+        return plan.limit
+    return None
 
 
 # ----------------------------------------------------------------------

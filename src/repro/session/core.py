@@ -571,10 +571,13 @@ class Archive:
         Exactly one of ``backend``, ``stores`` or ``archive`` must be
         given; ``density_maps`` feeds cost estimation, ``scheduler``
         shares a :class:`MachineScheduler` with other archive machinery
-        (one is created otherwise).  ``batch_rows`` sizes the shard
-        batches of the engine built over a raw ``DistributedArchive``;
-        it has no effect on the other backend shapes, which arrive with
-        their batching already configured.
+        (one is created otherwise).  ``batch_rows`` sizes the execution
+        morsels of an engine built here (over a store mapping or a raw
+        ``DistributedArchive``): scans coalesce delivered containers to
+        roughly this many rows per vectorized pass (non-positive =
+        per-container evaluation).  It has no effect on backend shapes
+        that arrive with their batching already configured (a
+        pre-built engine, an ``archive://`` URL).
         """
         # Deferred imports keep repro.session importable without pulling
         # every backend package eagerly.
@@ -626,7 +629,9 @@ class Archive:
             )
         elif isinstance(target, dict):
             executor = LocalExecutor(
-                QueryEngine(target, density_maps=density_maps)
+                QueryEngine(
+                    target, density_maps=density_maps, batch_rows=batch_rows
+                )
             )
         else:
             raise TypeError(

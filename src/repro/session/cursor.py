@@ -79,6 +79,18 @@ class Cursor:
         result = self._job._result
         return {} if result is None else result.node_stats()
 
+    def has_ready_batch(self):
+        """True when a batch can be served without blocking — buffered
+        here, or already queued by the execution tree.  Lets a paced
+        reader (the archive server's ``fetch_batch`` handler) forward
+        whatever exists instead of stalling for a fuller page."""
+        if self._buffer:
+            return True
+        result = self._job._result
+        if result is None:
+            return False
+        return result.pending_batches() > 0
+
     def io_report(self):
         """Shared-scan I/O telemetry (see :meth:`Job.io_report`)."""
         return self._job.io_report()

@@ -24,6 +24,7 @@ from repro.query.qet import (
     ProjectNode,
     ScanNode,
     SortNode,
+    TopKNode,
 )
 
 __all__ = ["PlanTree", "plan_tree"]
@@ -33,9 +34,10 @@ __all__ = ["PlanTree", "plan_tree"]
 class PlanTree:
     """One node of a structured query plan.
 
-    ``kind`` is the QET node kind (``scan``, ``sort``, ``limit``,
-    ``project``, ``aggregate``, ``filter``, ``union``, ``intersect``,
-    ``difference``, ``exchange``, ``merge_sort``); ``detail`` holds the
+    ``kind`` is the QET node kind (``scan``, ``sort``, ``topk``,
+    ``limit``, ``project``, ``aggregate``, ``filter``, ``union``,
+    ``intersect``, ``difference``, ``exchange``, ``merge_sort``);
+    ``detail`` holds the
     node's interesting properties (source and routing for scans, fan-out
     and server pruning for merge points, ...).
     """
@@ -90,6 +92,12 @@ def _scan_detail(node):
 def _detail_for(node):
     if isinstance(node, ScanNode):
         return _scan_detail(node)
+    if isinstance(node, TopKNode):
+        return {
+            "limit": node.limit,
+            "keys": len(node.key_fns),
+            "descending": list(node.descending_flags),
+        }
     if isinstance(node, SortNode):
         return {
             "keys": len(node.key_fns),

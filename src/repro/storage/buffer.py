@@ -98,12 +98,19 @@ class BufferPool:
         """Read a run of containers under one lock acquisition.
 
         The sweep scanner's batched read path; returns a list of
-        ``(table, from_pool)`` in input order.
+        ``(table, from_pool)`` in input order.  The budget check runs
+        once per run, not once per container — transiently holding one
+        run over budget is the cost of not re-walking the LRU for every
+        tiny container in a coalesced read.
         """
         with self._lock:
-            return [self._fetch_locked(store, c) for c in containers]
+            results = [
+                self._fetch_locked(store, c, evict=False) for c in containers
+            ]
+            self._evict_over_budget()
+            return results
 
-    def _fetch_locked(self, store, container):
+    def _fetch_locked(self, store, container, evict=True):
         key = (id(store), container.htm_id)
         table = container.table
         entry = self._entries.get(key)
@@ -123,7 +130,8 @@ class BufferPool:
         self.stats.bytes_read += nbytes
         self._entries[key] = (table, nbytes)
         self._resident_bytes += nbytes
-        self._evict_over_budget()
+        if evict:
+            self._evict_over_budget()
         return table, False
 
     def contains(self, store, htm_id):

@@ -12,9 +12,17 @@ class TestLocalPlans:
             "ORDER BY mag_r LIMIT 5"
         )
         kinds = [node.kind for node in tree.walk()]
-        assert kinds == ["project", "limit", "sort", "scan"]
-        assert tree.find("limit")[0].detail["limit"] == 5
+        # ORDER BY ... LIMIT fuses into one streaming top-k node.
+        assert kinds == ["project", "topk", "scan"]
+        assert tree.find("topk")[0].detail["limit"] == 5
         assert tree.find("project")[0].detail["columns"] == ["objid", "mag_r"]
+
+    def test_order_without_limit_keeps_sort(self, local_session):
+        tree = local_session.explain(
+            "SELECT objid, mag_r FROM photo WHERE mag_r < 17 ORDER BY mag_r"
+        )
+        kinds = [node.kind for node in tree.walk()]
+        assert kinds == ["project", "sort", "scan"]
 
     def test_tag_routing_surfaces(self, local_session):
         tree = local_session.explain("SELECT objid, mag_r FROM photo WHERE mag_r < 18")
@@ -73,8 +81,8 @@ class TestDistributedPlans:
         )
         merge = tree.find("merge_sort")
         assert merge and merge[0].detail["keys"] == 1
-        # each shard pre-sorts and pre-trims
-        assert len(tree.find("sort")) == merge[0].detail["fanout"]
+        # each shard pre-selects its own top-k (fused sort+trim)
+        assert len(tree.find("topk")) == merge[0].detail["fanout"]
 
     def test_aggregate_merge_strategy(self, dist_session):
         tree = dist_session.explain(

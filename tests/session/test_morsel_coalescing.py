@@ -1,0 +1,226 @@
+"""Morsel-coalesced execution: exactness and the counter-based perf gate.
+
+The tentpole contract:
+
+* answers are **batch-size invariant** — the same corpus row-for-row at
+  per-container evaluation (``batch_rows<=0``) and at any coalescing
+  target, including region queries whose partial trixels need the exact
+  geometric test;
+* the coalescing win is **deterministically measurable** — a full scan
+  performs at most ``ceil(rows / batch_rows) + 1`` vectorized predicate
+  evaluations instead of one per container (no wall clocks involved, so
+  this perf gate cannot flake);
+* LIMIT / cancel still stop a scan mid-coalesced-run promptly;
+* a query joining mid-sweep still gets exact results while coalescing.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.session import Archive
+
+#: every plan shape whose rows flow through a coalescing ScanNode
+CORPUS = [
+    ("full_scan", "SELECT objid FROM photo", "rows"),
+    ("filter", "SELECT objid, mag_r FROM photo WHERE mag_r < 18", "rows"),
+    ("cone", "SELECT objid FROM photo WHERE CIRCLE(40, 30, 5)", "rows"),
+    (
+        "cone_pred",
+        "SELECT objid FROM photo WHERE CIRCLE(40, 30, 10) AND mag_g < 19",
+        "rows",
+    ),
+    (
+        "order_limit",
+        "SELECT objid, mag_r FROM photo ORDER BY mag_r, objid LIMIT 30",
+        "ordered",
+    ),
+    (
+        "aggregate",
+        "SELECT objtype, AVG(mag_r) AS m, COUNT(objid) AS n FROM photo "
+        "GROUP BY objtype",
+        "ordered",
+    ),
+    (
+        "set_op",
+        "(SELECT objid FROM photo WHERE mag_r < 18) INTERSECT "
+        "(SELECT objid FROM photo WHERE mag_g < 19)",
+        "rows",
+    ),
+]
+
+BATCH_SIZES = [0, 256, 4096, 65536]  # 0 = per-container (no coalescing)
+
+
+@pytest.fixture(scope="module")
+def sessions(photo_store, tag_store):
+    stores = {"photo": photo_store, "tag": tag_store}
+    opened = {
+        rows: Archive.connect(stores=dict(stores), batch_rows=rows)
+        for rows in BATCH_SIZES
+    }
+    yield opened
+    for session in opened.values():
+        session.close()
+
+
+class TestBatchSizeInvariance:
+    @pytest.mark.parametrize("name,query,mode", CORPUS)
+    def test_corpus_identical_across_batch_sizes(
+        self, sessions, same_rows, name, query, mode
+    ):
+        baseline = sessions[BATCH_SIZES[0]].query_table(query)
+        for rows in BATCH_SIZES[1:]:
+            got = sessions[rows].query_table(query)
+            same_rows(baseline, got, ordered=(mode == "ordered"))
+
+    def test_unordered_scan_order_is_invariant_too(self, sessions):
+        """Even raw emission order is the sweep's delivery order, so the
+        unsorted stream is positionally identical at every batch size."""
+        baseline = sessions[0].query_table("SELECT objid FROM photo")
+        for rows in BATCH_SIZES[1:]:
+            got = sessions[rows].query_table("SELECT objid FROM photo")
+            assert np.array_equal(baseline["objid"], got["objid"])
+
+
+def _scan_stats(job):
+    return [
+        stats
+        for node, stats in job.node_stats().items()
+        if getattr(node, "name", "") == "scan"
+    ]
+
+
+class TestCounterPerfGate:
+    """The CI-gating smoke: deterministic counters, no wall clocks."""
+
+    @pytest.mark.parametrize("batch_rows", [512, 4096])
+    def test_full_scan_predicate_evals_bounded(
+        self, photo_store, photo, batch_rows
+    ):
+        with Archive.connect(
+            stores={"photo": photo_store}, batch_rows=batch_rows
+        ) as session:
+            job = session.submit("SELECT objid FROM photo")
+            table = job.cursor.to_table()
+            assert len(table) == len(photo)
+            (scan,) = _scan_stats(job)
+        n_containers = len(photo_store.containers)
+        # steady-state flushes plus the ASAP ramp-up flushes (the morsel
+        # target starts at RAMP_ROWS and grows 4x per flush) plus the
+        # final partial flush
+        ramp_steps = 0
+        ramp = min(256, batch_rows)
+        while ramp < batch_rows:
+            ramp_steps += 1
+            ramp *= 4
+        bound = math.ceil(len(photo) / batch_rows) + ramp_steps + 1
+        assert 1 <= scan.predicate_evals <= bound
+        # and the bound is meaningful: far fewer passes than containers
+        assert scan.predicate_evals < n_containers
+
+    def test_per_container_mode_matches_container_count(self, photo_store, photo):
+        """batch_rows<=0 is the pre-morsel behavior: one evaluation per
+        delivered non-empty container."""
+        with Archive.connect(
+            stores={"photo": photo_store}, batch_rows=0
+        ) as session:
+            job = session.submit("SELECT objid FROM photo")
+            job.cursor.to_table()
+            (scan,) = _scan_stats(job)
+        assert scan.predicate_evals == len(photo_store.containers)
+
+    def test_region_query_counts_stay_bounded(self, photo_store):
+        """A cone over the small test catalog buffers well under one
+        morsel target, so the whole region query costs a couple of
+        vectorized passes — not one per candidate container."""
+        with Archive.connect(
+            stores={"photo": photo_store}, batch_rows=4096
+        ) as session:
+            job = session.submit("SELECT objid FROM photo WHERE CIRCLE(40, 30, 5)")
+            table = job.cursor.to_table()
+            assert len(table) > 0
+            (scan,) = _scan_stats(job)
+        delivered = scan.containers_read + scan.containers_from_pool
+        assert delivered > 2  # the cone spans several containers...
+        assert scan.predicate_evals <= 2  # ...but needs at most 2 passes
+
+
+class TestMidRunControl:
+    def test_limit_cancels_scan_mid_coalesced_run(self, photo):
+        """LIMIT without ORDER BY: the scan must stop early, not sweep
+        everything, and no node thread may linger.  The sweep is paced
+        so the cancellation deterministically lands mid-lap."""
+        from repro.storage import ContainerStore
+
+        store = ContainerStore.from_table(photo, depth=5)
+        store.sweeper().throttle = 0.0005
+        with Archive.connect(stores={"photo": store}, batch_rows=256) as session:
+            job = session.submit("SELECT objid FROM photo LIMIT 10")
+            table = job.cursor.to_table()
+            assert len(table) == 10
+            job.join(10.0)
+            assert job.alive_nodes() == []
+            (scan,) = _scan_stats(job)
+            delivered = scan.containers_read + scan.containers_from_pool
+            assert delivered < len(store.containers)
+
+    def test_cancel_mid_coalesced_run(self, photo):
+        """Cancelling while a morsel is still accumulating stops every
+        node thread promptly."""
+        import time
+
+        from repro.storage import ContainerStore
+
+        store = ContainerStore.from_table(photo, depth=5)
+        store.sweeper().throttle = 0.001  # slow sweep: cancel lands mid-run
+        with Archive.connect(stores={"photo": store}, batch_rows=4096) as session:
+            job = session.submit("SELECT objid FROM photo")
+            time.sleep(0.05)  # a few containers into the first morsel
+            job.cancel()
+            job.join(10.0)
+            assert job.alive_nodes() == []
+            assert job.state.value == "cancelled"
+
+
+class TestMidSweepJoinWithCoalescing:
+    def test_second_query_joins_mid_sweep_and_is_exact(self, photo):
+        """A query arriving while another's morsels are filling must
+        still see every container exactly once (wrap-around)."""
+        from repro.storage import ContainerStore
+
+        store = ContainerStore.from_table(photo, depth=5)
+        store.sweeper().throttle = 0.0005
+        with Archive.connect(stores={"photo": store}, batch_rows=4096) as session:
+            first = session.submit("SELECT objid FROM photo")
+            started = threading.Event()
+
+            results = {}
+
+            def drain_first():
+                started.set()
+                results["first"] = first.cursor.to_table()
+
+            thread = threading.Thread(target=drain_first)
+            thread.start()
+            started.wait()
+            # join mid-sweep (bounded wait: if the first scan somehow
+            # finishes before we see it move, the join is merely late —
+            # the exactness assertion below still applies)
+            import time
+
+            deadline = time.perf_counter() + 5.0
+            while (
+                store.sweeper().position() == 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+            second = session.submit("SELECT objid FROM photo")
+            results["second"] = second.cursor.to_table()
+            thread.join(30.0)
+
+        expected = sorted(np.asarray(photo["objid"]).tolist())
+        for key in ("first", "second"):
+            assert sorted(np.asarray(results[key]["objid"]).tolist()) == expected
