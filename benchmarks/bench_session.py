@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import threading
 import time
@@ -178,6 +179,57 @@ def _bench_concurrent(photo):
     }
 
 
+#: Workers sweep: the morsel-parallel pool widths measured side by side.
+WORKERS_SWEEP = (1, 4)
+WORKERS_QUERIES = (
+    "full_scan_stream", "tag_routed_filter", "grouped_aggregate",
+    "order_limit_topk",
+)
+
+
+def _bench_workers_scaling(photo, tags):
+    """Morsel-parallel scaling: the same corpus at workers=1 vs 4.
+
+    Wall-clock speedup here is **non-gating** evidence: it depends
+    entirely on the host's core count (recorded as ``cpu_count`` — on a
+    1-core CI runner thread parallelism cannot and does not show), so
+    correctness and engagement are gated elsewhere, by the deterministic
+    worker-utilization counters (``tests/machines/test_workers.py``)
+    that this scenario also records per query.
+    """
+    stores = {
+        "photo": ContainerStore.from_table(photo, depth=6),
+        "tag": ContainerStore.from_table(tags, depth=6),
+    }
+    corpus = dict(CORPUS)
+    # Warm the shared pool so every width measures compute, not cold I/O.
+    with Archive.connect(stores=stores) as warmup:
+        warmup.query_table(corpus["full_scan_stream"])
+    sweep = {}
+    for workers in WORKERS_SWEEP:
+        with Archive.connect(stores=stores, workers=workers) as session:
+            entries = {}
+            for name in WORKERS_QUERIES:
+                job = session.submit(corpus[name])
+                table = job.cursor.to_table()
+                entry = _query_stats(job.cursor, table)
+                entry["workers"] = job.io_report()["workers"]
+                entries[name] = entry
+            sweep[str(workers)] = entries
+    serial = sweep[str(WORKERS_SWEEP[0])]
+    widest = sweep[str(WORKERS_SWEEP[-1])]
+    speedups = {}
+    for name in WORKERS_QUERIES:
+        a = serial[name]["time_to_completion_ms"]
+        b = widest[name]["time_to_completion_ms"]
+        speedups[name] = None if not b else round(a / b, 3)
+    return {
+        "cpu_count": os.cpu_count(),
+        "widths": sweep,
+        "wall_clock_speedup_nongating": speedups,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_session.json")
@@ -215,6 +267,7 @@ def main():
         },
         "concurrent": _bench_concurrent(photo),
         "batch_size_sweep": _bench_batch_size_sweep(photo, tags),
+        "workers_scaling": _bench_workers_scaling(photo, tags),
     }
     payload["wall_seconds"] = round(time.perf_counter() - started, 3)
     local.close()

@@ -23,6 +23,7 @@ from repro.distributed.routing import (
 __all__ = [
     "DistributedQueryEngine",
     "DistributedQueryResult",
+    "ProcessShardCluster",
     "build_shard_tree",
     "build_merge_tree",
     "ShardFanoutReport",
@@ -30,3 +31,13 @@ __all__ = [
     "assign_sweep_servers",
     "route_plan",
 ]
+
+
+def __getattr__(name):
+    # Lazy: repro.distributed.process pulls in the whole net stack,
+    # which plain shard-tree users should not pay for (or cycle into).
+    if name == "ProcessShardCluster":
+        from repro.distributed.process import ProcessShardCluster
+
+        return ProcessShardCluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

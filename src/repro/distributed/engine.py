@@ -56,26 +56,38 @@ __all__ = [
 ]
 
 
-def build_shard_tree(store, sharded, coverage, batch_rows=4096):
+def build_shard_tree(store, sharded, coverage, batch_rows=4096, workers=1):
     """One server's sub-QET: the pushed-down shard half of a split plan.
 
     Shared by the in-process engine (scan trees built directly over each
     touched :class:`~repro.storage.cluster.ServerNode` store) and the
     network layer's :class:`~repro.net.server.ShardExecutor` (the same
     tree built server-side for a ``mode="shard"`` submission).
+    ``workers`` applies morsel parallelism *within* the shard — on a
+    process-backed shard each server multiplies cores this way.
     """
     shard = sharded.shard
-    node = ScanNode(store, shard, batch_rows=batch_rows, coverage=coverage)
+    node = ScanNode(
+        store, shard, batch_rows=batch_rows, coverage=coverage, workers=workers
+    )
     if shard.is_aggregate:
         return AggregateNode(
-            node, shard.group_specs, shard.aggregate_specs, shard.output_order
+            node,
+            shard.group_specs,
+            shard.aggregate_specs,
+            shard.output_order,
+            workers=workers,
         )
     top_k = fused_top_k(shard)
     if top_k is not None:
         # Each shard needs at most the global top-k: the fused node
         # keeps the shard's candidate set bounded too.
         node = TopKNode(
-            node, shard.order_key_fns, shard.order_descending, top_k
+            node,
+            shard.order_key_fns,
+            shard.order_descending,
+            top_k,
+            workers=workers,
         )
     else:
         if shard.order_key_fns:
@@ -194,13 +206,23 @@ class DistributedQueryEngine:
     physical I/O by the number of in-flight queries.
     """
 
-    def __init__(self, archive, density_maps=None, scheduler=None, batch_rows=4096):
+    def __init__(
+        self,
+        archive,
+        density_maps=None,
+        scheduler=None,
+        batch_rows=4096,
+        workers=None,
+    ):
         if not archive.servers:
             raise ValueError("archive has no servers")
+        from repro.machines.workers import resolve_workers
+
         self.archive = archive
         self.density_maps = dict(density_maps or {})
         self.scheduler = scheduler
         self.batch_rows = int(batch_rows)
+        self.workers = resolve_workers(workers)
 
     @property
     def schemas(self):
@@ -284,7 +306,11 @@ class DistributedQueryEngine:
     def _shard_tree(self, store, sharded, coverage):
         """One server's sub-QET (see :func:`build_shard_tree`)."""
         return build_shard_tree(
-            store, sharded, coverage, batch_rows=self.batch_rows
+            store,
+            sharded,
+            coverage,
+            batch_rows=self.batch_rows,
+            workers=self.workers,
         )
 
     def _merge_tree(self, shard_roots, sharded):

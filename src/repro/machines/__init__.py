@@ -25,8 +25,18 @@ from repro.machines.scan import ScanMachine, ScanQuery, SweepReport
 from repro.machines.hash import HashMachine, HashReport, PairPredicate
 from repro.machines.river import RiverGraph, RiverReport
 from repro.machines.scheduler import MachineScheduler, Job
+from repro.machines.workers import (
+    RunSource,
+    SequencedEmitter,
+    WorkerPool,
+    resolve_workers,
+)
 
 __all__ = [
+    "RunSource",
+    "SequencedEmitter",
+    "WorkerPool",
+    "resolve_workers",
     "BoundedStream",
     "StreamStats",
     "SweepScanner",

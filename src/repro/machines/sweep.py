@@ -42,7 +42,6 @@ steps itself and charges its own clock).
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -210,17 +209,33 @@ class SweepScanner:
         self.store = store
         #: optional label used in diagnostics and machine names
         self.name = name
-        #: live mode: seconds slept per swept container (test/disk-rate
-        #: knob); a throttled sweep steps one container at a time so the
-        #: pacing — and mid-sweep join granularity — is per container
-        self.throttle = float(throttle)
         self.stats = SweepStats()
         self._cond = threading.Condition()
+        self._throttle = float(throttle)
         self._subs = []
         self._order = []
         self._position = 0
         self._snapshot_len = 0
         self._thread = None
+
+    @property
+    def throttle(self):
+        """Live mode: seconds slept per swept container (test/disk-rate
+        knob); a throttled sweep steps one container at a time so the
+        pacing — and mid-sweep join granularity — is per container.
+
+        Reads and writes go through the sweep's condition variable:
+        assigning a new value mid-sweep wakes the live thread out of its
+        pacing wait, so the change takes effect on the very next step
+        instead of after a stale sleep."""
+        with self._cond:
+            return self._throttle
+
+    @throttle.setter
+    def throttle(self, value):
+        with self._cond:
+            self._throttle = float(value)
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # joining the sweep
@@ -403,9 +418,9 @@ class SweepScanner:
             with self._cond:
                 while not self._subs:
                     self._cond.wait()
-            throttle = self.throttle
+                throttle = self._throttle
             try:
-                self.step(stride=1 if throttle else self.stride)
+                advanced = self.step(stride=1 if throttle else self.stride)
             except Exception as exc:
                 # The sweep must never die silently: fail every active
                 # subscription so consumers raise instead of blocking
@@ -419,8 +434,22 @@ class SweepScanner:
                 for sub in failed:
                     sub._fail(exc)
                 continue
+            if advanced is None:
+                # Subscribers exist but nothing was deliverable (e.g. a
+                # racing detach emptied the lap): block on the condition
+                # with a bounded wait instead of busy-spinning; any
+                # subscribe or throttle change notifies us awake.
+                with self._cond:
+                    if self._subs:
+                        self._cond.wait(timeout=0.05)
+                continue
             if throttle:
-                time.sleep(throttle)
+                # Pace on the condition variable, not a bare sleep: a
+                # mid-sweep throttle change (or a new subscriber) wakes
+                # the wait and takes effect on the very next step.
+                with self._cond:
+                    if self._throttle:
+                        self._cond.wait(timeout=self._throttle)
 
     def __repr__(self):
         return (

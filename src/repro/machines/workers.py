@@ -1,0 +1,288 @@
+"""Morsel-parallel execution: a worker pool under the shared sweep.
+
+*"The scan machine will be interactively scheduled ... the query
+completes within the scan time"* — and the scan time itself is set by
+how much hardware one sweep can saturate.  Until now every QET node was
+a single thread, so a query used one core no matter how many the
+machine had.  This module supplies the three small pieces that turn the
+morsel-coalesced read path (PR 5) into a multi-core one:
+
+* :class:`WorkerPool` — K worker threads running one callable each,
+  with first-failure propagation and per-worker accounting;
+* :class:`RunSource` — a multi-consumer pull over one
+  :class:`~repro.machines.sweep.SweepSubscription`: workers take
+  *contiguous* batches of delivery runs under a lock (so sequence
+  numbers stay dense per work item), with a deterministic **fair first
+  round** — no worker takes a second work item until every worker has
+  taken (or been denied, on exhaustion) its first — which is what makes
+  the worker-utilization counter a CI-gateable invariant instead of a
+  scheduling accident;
+* :class:`SequencedEmitter` — restores work items to sweep-delivery
+  order before they reach the output stream, so a ``workers=K`` scan
+  emits rows in exactly the order a ``workers=1`` scan would (ties in
+  downstream sorts and top-k included), with bounded reordering memory
+  and backpressure preserved.
+
+The pool is deliberately thread-based: predicate evaluation, grouping
+and top-k pruning are numpy passes that release the GIL, so morsels
+genuinely overlap on multi-core hosts.  For shard-level parallelism
+across the GIL (N shards on N cores) see
+:class:`~repro.distributed.process.ProcessShardCluster`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "WorkerPool",
+    "RunSource",
+    "SequencedEmitter",
+    "resolve_workers",
+]
+
+
+def resolve_workers(workers=None):
+    """Resolve a ``workers=`` knob to a positive int.
+
+    ``None`` falls back to the ``REPRO_WORKERS`` environment variable
+    (the CI matrix runs the whole suite with ``REPRO_WORKERS=4``), then
+    to 1.  Anything below 1 clamps to 1 — serial execution is always the
+    floor, never an error.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                workers = 1
+        else:
+            workers = 1
+    return max(1, int(workers))
+
+
+class WorkerPool:
+    """Run ``worker_fn(worker_index)`` on K threads and join them all.
+
+    ``on_fail`` (optional) runs once, from the first failing worker,
+    *before* the pool finishes joining — the hook cancels shared inputs
+    so sibling workers blocked on them wake up instead of deadlocking
+    the join.  :meth:`run` re-raises the first failure after every
+    thread has exited, so callers see one exception with no orphaned
+    threads behind it.
+    """
+
+    def __init__(self, n_workers, name="workers", on_fail=None):
+        self.n_workers = max(1, int(n_workers))
+        self.name = name
+        self._on_fail = on_fail
+        self._fail_lock = threading.Lock()
+        self._first_error = None
+
+    def _guard(self, worker_fn, index):
+        try:
+            worker_fn(index)
+        except Exception as exc:
+            first = False
+            with self._fail_lock:
+                if self._first_error is None:
+                    self._first_error = exc
+                    first = True
+            if first and self._on_fail is not None:
+                try:
+                    self._on_fail()
+                except Exception:
+                    pass  # the original failure is the one to surface
+
+    def run(self, worker_fn):
+        """Run the pool to completion; re-raises the first worker error."""
+        threads = [
+            threading.Thread(
+                target=self._guard,
+                args=(worker_fn, index),
+                daemon=True,
+                name=f"{self.name}-{index}",
+            )
+            for index in range(self.n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._first_error is not None:
+            raise self._first_error
+
+
+class RunSource:
+    """Multi-consumer pull over one sweep subscription.
+
+    Each :meth:`pull` returns ``(first_seq, runs)`` — a batch of
+    *consecutive* delivery runs (sequence numbers ``first_seq ..
+    first_seq + len(runs) - 1``) — or ``None`` at end of sweep.  All
+    pulls serialize on one lock, so the single-sentinel semantics of the
+    underlying :class:`~repro.query.qet.Stream` stay sound with K
+    consumers (only one thread ever blocks in the stream at a time).
+
+    Two properties shape the pull:
+
+    * **full coalescing** — after its first run, a pull keeps taking
+      runs (blocking on delivery like the serial scan does) until
+      roughly ``target_rows`` rows are in hand or the sweep ends, so
+      work items are real morsels and the per-morsel predicate-pass
+      count stays a deterministic function of ``(rows, target_rows,
+      n_workers)`` — the same CI-gateable property the serial
+      coalescing path has (only each worker's *final* pull can come up
+      short, at exhaustion);
+    * **fair first round** — a worker's *first* pull takes exactly one
+      run, and no worker gets a second work item until every worker has
+      completed its first pull (or the sweep is exhausted).  Whenever
+      the sweep delivers at least K runs, every one of K workers
+      processes at least one work item — deterministically, independent
+      of thread scheduling — which is the invariant the CI utilization
+      gate asserts.
+    """
+
+    def __init__(self, subscription, n_workers, target_rows):
+        self.subscription = subscription
+        self.n_workers = max(1, int(n_workers))
+        self.target_rows = max(1, int(target_rows))
+        self._iter = subscription.iter_runs()
+        self._cond = threading.Condition()
+        self._next_seq = 0
+        self._exhausted = False
+        self._cancelled = False
+        self._first_done = set()
+
+    def cancel(self):
+        """Stop handing out work; wakes workers waiting at the fair gate
+        (a worker blocked *inside* the stream is woken by cancelling the
+        subscription itself)."""
+        with self._cond:
+            self._cancelled = True
+            self._cond.notify_all()
+        self.subscription.cancel()
+
+    def _advance(self):
+        """Next run off the shared iterator (caller holds the lock)."""
+        run = next(self._iter, None)
+        if run is None:
+            self._exhausted = True
+            self._cond.notify_all()
+        return run
+
+    def pull(self, worker_index):
+        """One work item for ``worker_index``, or ``None`` when done."""
+        with self._cond:
+            first = worker_index not in self._first_done
+            if not first:
+                # Fair gate: wait for every worker's first pull before
+                # taking seconds, so utilization is an invariant.
+                while (
+                    len(self._first_done) < self.n_workers
+                    and not self._exhausted
+                    and not self._cancelled
+                ):
+                    self._cond.wait()
+            if self._cancelled:
+                return None
+            runs = []
+            rows = 0
+            first_seq = self._next_seq
+            while not self._exhausted:
+                run = self._advance()
+                if run is None:
+                    break
+                runs.append(run)
+                rows += sum(len(table) for _h, table, _p in run)
+                self._next_seq += 1
+                if first or self._cancelled:
+                    break
+                if rows >= self.target_rows:
+                    break
+            if first:
+                self._first_done.add(worker_index)
+                self._cond.notify_all()
+            if not runs:
+                return None
+            return first_seq, runs
+
+
+class SequencedEmitter:
+    """Restore work items to sequence order before emission.
+
+    Workers finish their morsels in any order; :meth:`submit` deposits
+    ``(first_seq, n_runs, payload)`` and whichever worker deposits (or
+    finds buffered) the next-needed sequence becomes the emitter and
+    drains every consecutive ready item through ``emit_fn`` — so output
+    order is exactly sweep-delivery order, regardless of which worker
+    filtered which morsel.
+
+    Reordering memory is bounded: a deposit that is neither the
+    next-needed item nor within ``max_pending`` buffered items blocks
+    until the emitter catches up, which also preserves downstream
+    backpressure (workers cannot race arbitrarily far ahead of a slow
+    consumer).  ``emit_fn`` returning ``False`` (consumer cancelled)
+    poisons the emitter: every present and future submit returns
+    ``False`` so workers stop promptly.
+    """
+
+    def __init__(self, emit_fn, max_pending=8):
+        self._emit_fn = emit_fn
+        self._max_pending = max(1, int(max_pending))
+        self._cond = threading.Condition()
+        #: first_seq -> (n_runs, payload) for out-of-order completions
+        self._pending = {}
+        self._next = 0
+        self._emitting = False
+        self._ok = True
+
+    def fail(self):
+        """Poison the emitter (e.g. downstream cancelled out-of-band)."""
+        with self._cond:
+            self._ok = False
+            self._cond.notify_all()
+
+    def submit(self, first_seq, n_runs, payload):
+        """Deposit one finished work item; returns False once poisoned.
+
+        ``payload`` is a list of tables to emit in order (possibly empty
+        — an all-filtered morsel still advances the sequence).
+        """
+        with self._cond:
+            while (
+                self._ok
+                and first_seq != self._next
+                and len(self._pending) >= self._max_pending
+            ):
+                self._cond.wait()
+            if not self._ok:
+                return False
+            self._pending[first_seq] = (n_runs, payload)
+            if self._emitting or self._next not in self._pending:
+                return True
+            self._emitting = True
+        self._drain()
+        return self._ok
+
+    def _drain(self):
+        """Emit every consecutive ready item (caller set ``_emitting``)."""
+        while True:
+            with self._cond:
+                entry = self._pending.pop(self._next, None)
+                if entry is None or not self._ok:
+                    self._emitting = False
+                    self._cond.notify_all()
+                    return
+            n_runs, payload = entry
+            ok = True
+            for table in payload:
+                if not self._emit_fn(table):
+                    ok = False
+                    break
+            with self._cond:
+                self._next += n_runs
+                if not ok:
+                    self._ok = False
+                self._cond.notify_all()

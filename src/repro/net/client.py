@@ -379,6 +379,18 @@ class RemoteRootNode(QETNode):
             )
             self.stats.predicate_evals += int(node.get("predicate_evals", 0))
             self.stats.note_buffered(int(node.get("peak_buffered_rows", 0)))
+            # Fold the server-side worker-pool counters so utilization
+            # telemetry survives the wire: widest pool wins, per-slot
+            # item counts accumulate elementwise.
+            remote_workers = int(node.get("workers", 0))
+            if remote_workers:
+                self.stats.workers = max(self.stats.workers, remote_workers)
+                items = self.stats.worker_items
+                for slot, count in enumerate(node.get("worker_items", [])):
+                    if slot < len(items):
+                        items[slot] += int(count)
+                    else:
+                        items.append(int(count))
         self.remote_io = io.get("report")
         self.remote_io_raw = io.get("raw")
 

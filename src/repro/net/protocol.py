@@ -362,6 +362,8 @@ def node_stats_to_wire(node_stats):
             "containers_skipped": stats.containers_skipped,
             "predicate_evals": stats.predicate_evals,
             "peak_buffered_rows": stats.peak_buffered_rows,
+            "workers": stats.workers,
+            "worker_items": [int(n) for n in stats.worker_items],
         }
         for node, stats in node_stats.items()
     ]

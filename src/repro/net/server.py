@@ -110,6 +110,9 @@ class ShardExecutor(Executor):
     def __init__(self, engine, batch_rows=4096):
         self.engine = engine
         self.batch_rows = int(batch_rows)
+        #: morsel-parallel width inside this shard — inherited from the
+        #: hosted engine so one knob configures both submission modes
+        self.workers = getattr(engine, "workers", 1)
 
     def prepare(self, text, allow_tag_route=True, select_index=0):
         ast = parse_query(text)
@@ -130,7 +133,11 @@ class ShardExecutor(Executor):
         store = self.engine.stores[plan.routed_source]
         coverage, _candidates = shard_candidates(plan, store.depth)
         root = build_shard_tree(
-            store, sharded, coverage, batch_rows=self.batch_rows
+            store,
+            sharded,
+            coverage,
+            batch_rows=self.batch_rows,
+            workers=self.workers,
         )
         return PreparedQuery(
             text=text,
@@ -213,6 +220,7 @@ class ArchiveServer:
         scheduler=None,
         density_maps=None,
         batch_rows=4096,
+        workers=None,
     ):
         self.session = Archive.connect(
             backend,
@@ -221,6 +229,7 @@ class ArchiveServer:
             scheduler=scheduler,
             density_maps=density_maps,
             batch_rows=batch_rows,
+            workers=workers,
         )
         base = self.session.executor
         shard = None
@@ -276,6 +285,13 @@ class ArchiveServer:
         Breaking the connections is what makes a *killed* server
         observable client-side: in-flight streams see EOF and their jobs
         fail with the connection error as cause.
+
+        In-flight jobs are cancelled *before* the connection threads are
+        joined: a connection thread blocked draining a wedged QET can
+        only exit once its job's streams are cancelled.  A thread still
+        alive after the bounded join is a *leak* — a hung QET — and
+        raises :class:`RuntimeError` naming the stragglers, so it shows
+        up as a test failure instead of a silently orphaned thread.
         """
         self._closing.set()
         listener = self._listener
@@ -287,6 +303,10 @@ class ArchiveServer:
         with self._lock:
             connections = list(self._connections)
             threads = list(self._threads)
+            served = list(self._jobs.values())
+        for item in served:
+            if not item.job.state.is_terminal():
+                item.job.cancel()
         for sock in connections:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -298,7 +318,13 @@ class ArchiveServer:
                 pass
         for thread in threads:
             thread.join(timeout=5.0)
+        leaked = [thread.name for thread in threads if thread.is_alive()]
         self.session.close()
+        if leaked:
+            raise RuntimeError(
+                f"ArchiveServer.stop() leaked {len(leaked)} connection "
+                f"thread(s): {', '.join(sorted(leaked))} — a QET is hung"
+            )
 
     close = stop
 

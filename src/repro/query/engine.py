@@ -165,14 +165,24 @@ class QueryEngine:
         vectorized predicate pass (and emit batches of at most this
         size).  Non-positive disables coalescing — one evaluation per
         container, the pre-morsel behavior kept for benchmarks.
+    workers:
+        Morsel-parallel worker threads per scan/aggregate/top-k node.
+        ``None`` resolves from the ``REPRO_WORKERS`` environment
+        variable (default 1 — the serial path).  Workers pull off the
+        same shared sweep subscription and output stays row-for-row
+        identical to serial execution (see
+        :mod:`repro.machines.workers`).
     """
 
-    def __init__(self, stores, density_maps=None, batch_rows=4096):
+    def __init__(self, stores, density_maps=None, batch_rows=4096, workers=None):
         if not stores:
             raise ValueError("QueryEngine needs at least one store")
+        from repro.machines.workers import resolve_workers
+
         self.stores = dict(stores)
         self.density_maps = dict(density_maps or {})
         self.batch_rows = int(batch_rows)
+        self.workers = resolve_workers(workers)
         self.schemas = {name: store.schema for name, store in self.stores.items()}
 
     # ------------------------------------------------------------------
@@ -227,11 +237,18 @@ class QueryEngine:
         full-materialize ``SortNode -> LimitNode`` pair.
         """
         store = self.stores[plan.routed_source]
-        node = ScanNode(store, plan, batch_rows=self.batch_rows)
+        workers = self.workers
+        node = ScanNode(
+            store, plan, batch_rows=self.batch_rows, workers=workers
+        )
         top_k = fused_top_k(plan)
         if plan.is_aggregate:
             node = AggregateNode(
-                node, plan.group_specs, plan.aggregate_specs, plan.output_order
+                node,
+                plan.group_specs,
+                plan.aggregate_specs,
+                plan.output_order,
+                workers=workers,
             )
             if plan.having_fn is not None:
                 node = FilterNode(node, plan.having_fn)
@@ -246,7 +263,11 @@ class QueryEngine:
             return node
         if top_k is not None:
             node = TopKNode(
-                node, plan.order_key_fns, plan.order_descending, top_k
+                node,
+                plan.order_key_fns,
+                plan.order_descending,
+                top_k,
+                workers=workers,
             )
         elif plan.order_key_fns:
             node = SortNode(node, plan.order_key_fns, plan.order_descending)

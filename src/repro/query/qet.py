@@ -20,7 +20,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -177,6 +177,18 @@ class NodeStats:
     #: at once — the evidence that ORDER BY ... LIMIT k no longer
     #: materializes the full input
     peak_buffered_rows: int = 0
+    #: worker-pool width of a morsel-parallel node (0 = serial path)
+    workers: int = 0
+    #: work items completed per worker (length == ``workers``) — the
+    #: deterministic utilization evidence: the scan's fair first round
+    #: guarantees every entry is >= 1 whenever the sweep delivered at
+    #: least ``workers`` runs, independent of thread scheduling
+    worker_items: list = field(default_factory=list)
+
+    def note_workers(self, items):
+        """Record a parallel node's per-worker work-item counts."""
+        self.workers = len(items)
+        self.worker_items = list(items)
 
     def note_buffered(self, rows):
         if rows > self.peak_buffered_rows:
@@ -277,6 +289,15 @@ class ScanNode(QETNode):
     paper's ASAP property survives coalescing: the user's first rows
     arrive after a few hundred buffered rows, not after a full morsel,
     while the steady-state amortization is untouched.
+
+    With ``workers > 1`` (and coalescing enabled) the node becomes
+    morsel-parallel: K pool workers each pull contiguous delivery runs
+    off the *same* subscription (see
+    :class:`~repro.machines.workers.RunSource`), filter their morsel
+    concurrently, and feed a sequence-restoring emitter — so emission
+    order (and therefore every downstream tie) is byte-identical to the
+    serial scan.  Per-container mode stays serial: its whole point is
+    the pre-morsel baseline.
     """
 
     name = "scan"
@@ -286,11 +307,12 @@ class ScanNode(QETNode):
     #: ~100 tiny containers per vectorized pass
     RAMP_ROWS = 256
 
-    def __init__(self, store, plan, batch_rows=4096, coverage=None):
+    def __init__(self, store, plan, batch_rows=4096, coverage=None, workers=1):
         super().__init__(())
         self.store = store
         self.plan = plan
         self.batch_rows = int(batch_rows)
+        self.workers = max(1, int(workers))
         #: optional precomputed Coverage at the store's depth; a
         #: distributed executor computes the cover once and shares it
         #: across every shard scan instead of re-covering per server.
@@ -298,13 +320,12 @@ class ScanNode(QETNode):
         #: the node's SweepSubscription while running (I/O telemetry)
         self.subscription = None
 
-    def _flush(self, morsel_tables, partial_spans):
+    def _filter_morsel(self, morsel_tables, partial_spans):
         """One vectorized filter pass over a buffered morsel.
 
         ``partial_spans`` are ``(start, stop)`` row ranges of containers
         only partially inside the region's cover — just those rows get
-        the exact geometric test.  Returns False when the consumer
-        cancelled.
+        the exact geometric test.  Returns the selected-rows table.
         """
         predicate = self.plan.predicate
         region = self.plan.region
@@ -315,7 +336,6 @@ class ScanNode(QETNode):
         mask = np.asarray(predicate(morsel), dtype=bool)
         if mask.shape == ():
             mask = np.full(len(morsel), bool(mask))
-        self.stats.predicate_evals += 1
         if partial_spans:
             rows = np.concatenate(
                 [np.arange(lo, hi) for lo, hi in partial_spans]
@@ -326,7 +346,12 @@ class ScanNode(QETNode):
                 axis=-1,
             )
             mask[rows] &= region.contains(positions)
-        selected = morsel.select(mask)
+        return morsel.select(mask)
+
+    def _flush(self, morsel_tables, partial_spans):
+        """Filter a morsel and emit it; returns False when cancelled."""
+        selected = self._filter_morsel(morsel_tables, partial_spans)
+        self.stats.predicate_evals += 1
         if len(selected) == 0:
             return True
         if self.batch_rows > 0:
@@ -335,6 +360,21 @@ class ScanNode(QETNode):
                     return False
             return True
         return self._emit(selected)
+
+    def _classify(self, htm_id, region, inside, partial):
+        """Region classification of one delivered container.
+
+        Returns ``None`` to drop it (outside the cover — unreachable via
+        candidates, but delivery is run-granular), ``True`` when the rows
+        need the exact geometric test, ``False`` when fully inside.
+        """
+        if region is None:
+            return False
+        if inside.contains(htm_id):
+            return False
+        if partial.contains(htm_id):
+            return True
+        return None
 
     def run(self):
         region = self.plan.region
@@ -350,44 +390,11 @@ class ScanNode(QETNode):
             candidates = coverage.candidates()
         subscription = self.store.sweeper().subscribe(candidates=candidates)
         self.subscription = subscription
-        target = self.batch_rows
-        ramp = min(self.RAMP_ROWS, target) if target > 0 else 0
-        morsel_tables = []
-        partial_spans = []
-        buffered = 0
         try:
-            for run in subscription.iter_runs():
-                if self.output.cancelled():
-                    return
-                for htm_id, table, _from_pool in run:
-                    if len(table) == 0:
-                        continue
-                    if region is not None:
-                        if inside.contains(htm_id):
-                            needs_region = False
-                        elif partial.contains(htm_id):
-                            needs_region = True
-                        else:  # outside the cover: unreachable via candidates
-                            continue
-                    else:
-                        needs_region = False
-                    if needs_region:
-                        partial_spans.append((buffered, buffered + len(table)))
-                    morsel_tables.append(table)
-                    buffered += len(table)
-                    self.stats.note_buffered(buffered)
-                    if target <= 0:
-                        # per-container mode: evaluate immediately
-                        if not self._flush(morsel_tables, partial_spans):
-                            return
-                        morsel_tables, partial_spans, buffered = [], [], 0
-                if buffered >= ramp and morsel_tables and target > 0:
-                    if not self._flush(morsel_tables, partial_spans):
-                        return
-                    morsel_tables, partial_spans, buffered = [], [], 0
-                    ramp = min(ramp * 4, target)
-            if morsel_tables and not self.output.cancelled():
-                self._flush(morsel_tables, partial_spans)
+            if self.workers > 1 and self.batch_rows > 0:
+                self._run_parallel(subscription, region, inside, partial)
+            else:
+                self._run_serial(subscription, region, inside, partial)
         finally:
             # Leave the sweep (a finished subscription is already gone;
             # an early exit must not keep receiving) and fold the I/O
@@ -396,6 +403,115 @@ class ScanNode(QETNode):
             self.stats.containers_read += subscription.physical_reads()
             self.stats.containers_from_pool += subscription.from_pool
             self.stats.containers_skipped += subscription.skipped
+
+    def _run_serial(self, subscription, region, inside, partial):
+        target = self.batch_rows
+        ramp = min(self.RAMP_ROWS, target) if target > 0 else 0
+        morsel_tables = []
+        partial_spans = []
+        buffered = 0
+        for run in subscription.iter_runs():
+            if self.output.cancelled():
+                return
+            for htm_id, table, _from_pool in run:
+                if len(table) == 0:
+                    continue
+                needs_region = self._classify(htm_id, region, inside, partial)
+                if needs_region is None:
+                    continue
+                if needs_region:
+                    partial_spans.append((buffered, buffered + len(table)))
+                morsel_tables.append(table)
+                buffered += len(table)
+                self.stats.note_buffered(buffered)
+                if target <= 0:
+                    # per-container mode: evaluate immediately
+                    if not self._flush(morsel_tables, partial_spans):
+                        return
+                    morsel_tables, partial_spans, buffered = [], [], 0
+            if buffered >= ramp and morsel_tables and target > 0:
+                if not self._flush(morsel_tables, partial_spans):
+                    return
+                morsel_tables, partial_spans, buffered = [], [], 0
+                ramp = min(ramp * 4, target)
+        if morsel_tables and not self.output.cancelled():
+            self._flush(morsel_tables, partial_spans)
+
+    def _run_parallel(self, subscription, region, inside, partial):
+        """K workers over one subscription, output in sweep order.
+
+        Each work item is a batch of contiguous delivery runs; the
+        filter pass runs concurrently across workers (numpy releases the
+        GIL) and the :class:`~repro.machines.workers.SequencedEmitter`
+        restores sweep-delivery order before anything reaches the output
+        stream, so this path is row-for-row *and* order-identical to the
+        serial scan.
+        """
+        from repro.machines.workers import RunSource, SequencedEmitter, WorkerPool
+
+        source = RunSource(subscription, self.workers, self.batch_rows)
+        emitter = SequencedEmitter(self._emit, max_pending=2 * self.workers)
+        items = [0] * self.workers
+        evals = [0] * self.workers
+        peaks = [0] * self.workers
+
+        def worker(index):
+            while True:
+                if self.output.cancelled():
+                    emitter.fail()
+                    source.cancel()
+                    return
+                pulled = source.pull(index)
+                if pulled is None:
+                    return
+                first_seq, runs = pulled
+                morsel_tables = []
+                partial_spans = []
+                buffered = 0
+                for run in runs:
+                    for htm_id, table, _from_pool in run:
+                        if len(table) == 0:
+                            continue
+                        needs_region = self._classify(
+                            htm_id, region, inside, partial
+                        )
+                        if needs_region is None:
+                            continue
+                        if needs_region:
+                            partial_spans.append(
+                                (buffered, buffered + len(table))
+                            )
+                        morsel_tables.append(table)
+                        buffered += len(table)
+                items[index] += 1
+                if buffered > peaks[index]:
+                    peaks[index] = buffered
+                if morsel_tables:
+                    evals[index] += 1
+                    selected = self._filter_morsel(morsel_tables, partial_spans)
+                    payload = (
+                        list(selected.iter_chunks(self.batch_rows))
+                        if len(selected)
+                        else []
+                    )
+                else:
+                    payload = []
+                # An all-filtered morsel still advances the sequence.
+                if not emitter.submit(first_seq, len(runs), payload):
+                    source.cancel()
+                    return
+
+        def fail_shared():
+            emitter.fail()
+            source.cancel()
+
+        pool = WorkerPool(self.workers, name="qet-scan-worker", on_fail=fail_shared)
+        try:
+            pool.run(worker)
+        finally:
+            self.stats.predicate_evals += sum(evals)
+            self.stats.note_buffered(max(peaks))
+            self.stats.note_workers(items)
 
 
 class ProjectNode(QETNode):
@@ -537,11 +653,30 @@ class TopKNode(QETNode):
     whose keys *equal* the threshold can never displace an
     earlier-arrived candidate — so filtering strictly-worse-or-equal
     rows is exact, not approximate.
+
+    With ``workers > 1`` the drain is parallel: batches are stamped with
+    **arrival ordinals** (batch sequence, row-within-batch) at the pull
+    point, the ordinals join the sort keys as final ascending
+    tie-breakers, and each worker keeps its own pruned candidate buffer
+    and running threshold (a worker's k-th best is a valid *global*
+    bound, so threshold filtering stays exact).  The final merge
+    concatenates at most ``workers * prune_rows`` candidates and selects
+    with the ordinal-extended ordering — "stable by arrival" is now an
+    explicit key, so the parallel result is row-for-row identical to the
+    serial one, ties and DESC included.
     """
 
     name = "topk"
 
-    def __init__(self, child, key_fns, descending_flags, limit, prune_rows=None):
+    def __init__(
+        self,
+        child,
+        key_fns,
+        descending_flags,
+        limit,
+        prune_rows=None,
+        workers=1,
+    ):
         super().__init__((child,))
         self.key_fns = list(key_fns)
         self.descending_flags = list(descending_flags)
@@ -549,6 +684,7 @@ class TopKNode(QETNode):
         if prune_rows is None:
             prune_rows = max(2 * self.limit, 1024)
         self.prune_rows = max(int(prune_rows), self.limit)
+        self.workers = max(1, int(workers))
         self._schema = None
 
     def _keys_for(self, batch):
@@ -560,18 +696,22 @@ class TopKNode(QETNode):
             arrays.append(array)
         return arrays
 
-    def _order(self, keys):
-        """Stable multi-key argsort — exactly SortNode's semantics."""
+    def _order(self, keys, flags=None):
+        """Stable multi-key argsort — exactly SortNode's semantics.
+
+        ``flags`` defaults to the node's descending flags; the parallel
+        path passes an extended list covering its arrival-ordinal keys.
+        """
+        if flags is None:
+            flags = self.descending_flags
         order = np.arange(len(keys[0]))
-        for index in range(len(self.key_fns) - 1, -1, -1):
+        for index in range(len(keys) - 1, -1, -1):
             order = order[
-                SortNode._stable_order(
-                    keys[index][order], self.descending_flags[index]
-                )
+                SortNode._stable_order(keys[index][order], flags[index])
             ]
         return order
 
-    def _strictly_before(self, keys, bound):
+    def _strictly_before(self, keys, bound, flags=None):
         """Mask of rows whose key tuple sorts strictly before ``bound``.
 
         NaN keys follow :meth:`SortNode._stable_order`'s semantics — a
@@ -579,12 +719,12 @@ class TopKNode(QETNode):
         with other NaNs — so the threshold filter can never drop a row
         the unfused sort-then-limit plan would have kept.
         """
+        if flags is None:
+            flags = self.descending_flags
         length = len(keys[0])
         lt = np.zeros(length, dtype=bool)
         eq = np.ones(length, dtype=bool)
-        for array, bound_value, descending in zip(
-            keys, bound, self.descending_flags
-        ):
+        for array, bound_value, descending in zip(keys, bound, flags):
             is_float = np.issubdtype(array.dtype, np.floating)
             value_nan = np.isnan(array) if is_float else None
             bound_nan = is_float and bool(np.isnan(bound_value))
@@ -606,6 +746,9 @@ class TopKNode(QETNode):
         k = self.limit
         if k == 0:
             child.output.cancel()
+            return
+        if self.workers > 1:
+            self._run_parallel(child, k)
             return
         data = None  # candidate rows, in arrival order
         keys = None  # aligned key arrays
@@ -639,6 +782,93 @@ class TopKNode(QETNode):
         if data is None or len(data) == 0:
             return
         order = self._order(keys)[:k]
+        self._emit(ObjectTable(self._schema, data[order]))
+
+    def _run_parallel(self, child, k):
+        """K workers with ordinal-stamped pulls and per-worker pruning."""
+        from repro.machines.workers import WorkerPool
+
+        pull_lock = threading.Lock()
+        iterator = iter(child.output)
+        state = {"seq": 0}
+        flags = list(self.descending_flags) + [False, False]
+        n_keys = len(self.key_fns) + 2
+        results = [None] * self.workers
+        items = [0] * self.workers
+        peaks = [0] * self.workers
+
+        def pull():
+            with pull_lock:
+                batch = next(iterator, None)
+                if batch is None:
+                    return None
+                if self._schema is None:
+                    self._schema = batch.schema
+                seq = state["seq"]
+                state["seq"] += 1
+                return seq, batch
+
+        def worker(index):
+            data = None
+            keys = None  # value keys + [batch seq, row-within-batch]
+            threshold = None
+            while True:
+                pulled = pull()
+                if pulled is None:
+                    break
+                seq, batch = pulled
+                items[index] += 1
+                rows = len(batch)
+                batch_keys = self._keys_for(batch) + [
+                    np.full(rows, seq, dtype=np.int64),
+                    np.arange(rows, dtype=np.int64),
+                ]
+                values = batch.data
+                if threshold is not None:
+                    mask = self._strictly_before(batch_keys, threshold, flags)
+                    if not mask.any():
+                        continue
+                    values = values[mask]
+                    batch_keys = [a[mask] for a in batch_keys]
+                if data is None:
+                    data, keys = values, batch_keys
+                else:
+                    data = np.concatenate([data, values])
+                    keys = [
+                        np.concatenate([a, b])
+                        for a, b in zip(keys, batch_keys)
+                    ]
+                if len(data) > peaks[index]:
+                    peaks[index] = len(data)
+                if len(data) > self.prune_rows:
+                    order = self._order(keys, flags)
+                    worst = order[k - 1]
+                    # The worker's k-th best bounds the *global* k-th
+                    # best too (its own k candidates already beat it),
+                    # so pruning against it never drops a global winner.
+                    threshold = tuple(a[worst] for a in keys)
+                    kept = np.sort(order[:k])  # back to arrival order
+                    data = data[kept]
+                    keys = [a[kept] for a in keys]
+            results[index] = (data, keys)
+
+        pool = WorkerPool(
+            self.workers, name="qet-topk-worker", on_fail=child.output.cancel
+        )
+        try:
+            pool.run(worker)
+        finally:
+            self.stats.note_workers(items)
+        survivors = [r for r in results if r is not None and r[0] is not None]
+        if not survivors:
+            return
+        data = np.concatenate([r[0] for r in survivors])
+        keys = [
+            np.concatenate([r[1][i] for r in survivors])
+            for i in range(n_keys)
+        ]
+        self.stats.note_buffered(max(max(peaks), len(data)))
+        order = self._order(keys, flags)[:k]
         self._emit(ObjectTable(self._schema, data[order]))
 
 
@@ -765,6 +995,10 @@ class _GroupedAccumulator:
             if op != "count" and column not in value_arrays:
                 value_arrays[column] = self._array(fn(batch), rows)
         group_keys, columns = self._reduce(key_arrays, value_arrays, rows)
+        self._merge_partials(group_keys, columns)
+
+    def _merge_partials(self, group_keys, columns):
+        """Fold one sorted partial table into the running state."""
         if self.keys is None:
             self.keys, self.columns = group_keys, columns
             return
@@ -793,6 +1027,24 @@ class _GroupedAccumulator:
             self.columns[column] = self._COMBINE[op].reduceat(
                 merged[order], starts
             )
+
+    def merge_from(self, other):
+        """Fold a sibling accumulator's partials into this one.
+
+        The intra-node parallel-aggregation merge: each pool worker
+        accumulates its own partials and the node recombines them here —
+        the same sorted-partial merge the distributed recombination path
+        uses, so results match the serial accumulator up to float
+        summation order.
+        """
+        if other.rows_seen == 0 or other.columns is None:
+            return
+        self.rows_seen += other.rows_seen
+        self._sum_dtypes.update(other._sum_dtypes)
+        if self.columns is None:
+            self.keys, self.columns = other.keys, other.columns
+            return
+        self._merge_partials(other.keys, other.columns)
 
     def finalize(self, output_order):
         """The aggregation result table, groups in sorted-key order."""
@@ -836,28 +1088,80 @@ class AggregateNode(QETNode):
     into a running partial-aggregate table (see
     :class:`_GroupedAccumulator`), so the node holds ``O(groups)``
     state instead of re-concatenating every fragment of the scan.
+
+    With ``workers > 1`` the drain is parallel partial aggregation: K
+    pool workers pull batches off the child stream (grouping is
+    order-free, so no reorder buffer is needed), each folds into its own
+    accumulator, and the partials recombine via
+    :meth:`_GroupedAccumulator.merge_from` — the distributed
+    recombination path applied intra-node.  Results differ from serial
+    only in float summation order (same as the distributed path).
     """
 
     name = "aggregate"
 
-    def __init__(self, child, group_specs, aggregate_specs, output_order):
+    def __init__(
+        self, child, group_specs, aggregate_specs, output_order, workers=1
+    ):
         super().__init__((child,))
         self.group_specs = list(group_specs)
         self.aggregate_specs = list(aggregate_specs)
         self.output_order = list(output_order)
+        self.workers = max(1, int(workers))
 
     def run(self):
         child = self.children[0]
-        accumulator = _GroupedAccumulator(
-            self.group_specs, self.aggregate_specs
-        )
-        for batch in child.output:
-            accumulator.update(batch)
-            if accumulator.keys:
-                self.stats.note_buffered(len(accumulator.keys[0]))
+        if self.workers > 1:
+            accumulator = self._drain_parallel(child)
+        else:
+            accumulator = _GroupedAccumulator(
+                self.group_specs, self.aggregate_specs
+            )
+            for batch in child.output:
+                accumulator.update(batch)
+                if accumulator.keys:
+                    self.stats.note_buffered(len(accumulator.keys[0]))
         if accumulator.rows_seen == 0:
             return
         self._emit(accumulator.finalize(self.output_order))
+
+    def _drain_parallel(self, child):
+        """K workers, one partial accumulator each, merged at the end."""
+        from repro.machines.workers import WorkerPool
+
+        pull_lock = threading.Lock()
+        iterator = iter(child.output)
+        parts = [
+            _GroupedAccumulator(self.group_specs, self.aggregate_specs)
+            for _ in range(self.workers)
+        ]
+        items = [0] * self.workers
+
+        def worker(index):
+            accumulator = parts[index]
+            while True:
+                # Serialize pulls: the child stream closes with a single
+                # sentinel, so only one consumer may ever block in it.
+                with pull_lock:
+                    batch = next(iterator, None)
+                if batch is None:
+                    return
+                items[index] += 1
+                accumulator.update(batch)
+
+        pool = WorkerPool(
+            self.workers, name="qet-agg-worker", on_fail=child.output.cancel
+        )
+        try:
+            pool.run(worker)
+        finally:
+            self.stats.note_workers(items)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge_from(part)
+        if merged.keys:
+            self.stats.note_buffered(len(merged.keys[0]))
+        return merged
 
 
 def _objids(batch):

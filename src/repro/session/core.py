@@ -141,6 +141,8 @@ class Job:
             "pool": [0, 0],
             "has_sweep": False,
             "has_pool": False,
+            "workers_configured": 0,
+            "worker_items": [],
         }
         if self._result is None:
             return counters
@@ -150,6 +152,16 @@ class Job:
             counters["containers_read"] += stats.containers_read
             counters["containers_from_pool"] += stats.containers_from_pool
             counters["containers_skipped"] += stats.containers_skipped
+            if stats.workers:
+                counters["workers_configured"] = max(
+                    counters["workers_configured"], stats.workers
+                )
+                items = counters["worker_items"]
+                for slot, count in enumerate(stats.worker_items):
+                    if slot < len(items):
+                        items[slot] += int(count)
+                    else:
+                        items.append(int(count))
             remote_raw = getattr(node, "remote_io_raw", None)
             if remote_raw is not None:
                 swept, delivered = remote_raw.get("sweep", (0, 0))
@@ -198,7 +210,22 @@ class Job:
             "containers_skipped": counters["containers_skipped"],
             "sweep_sharing_factor": None,
             "buffer_pool_hit_rate": None,
+            "workers": None,
         }
+        if counters["workers_configured"]:
+            # Deterministic utilization evidence of the morsel-parallel
+            # pools this job ran (the fair first round makes every
+            # worker's item count >= 1 whenever the sweep delivered at
+            # least `configured` runs — no wall clocks involved).
+            items = counters["worker_items"]
+            active = sum(1 for count in items if count > 0)
+            configured = counters["workers_configured"]
+            report["workers"] = {
+                "configured": configured,
+                "active": active,
+                "work_items": sum(items),
+                "utilization": active / configured,
+            }
         if counters["has_sweep"]:
             swept, delivered = counters["sweep"]
             report["sweep_sharing_factor"] = (
@@ -374,6 +401,15 @@ class Session:
         self._closed = False
         self._batch_queue = queue.Queue()
         self._dispatcher = None
+        #: resources whose lifetime is tied to this session (e.g. a
+        #: ProcessShardCluster built by Archive.connect); closed last.
+        self._owned = []
+
+    def adopt(self, resource):
+        """Tie ``resource`` (anything with ``close()``) to this session:
+        it is closed when the session closes, after jobs are cancelled."""
+        self._owned.append(resource)
+        return resource
 
     # -- properties -----------------------------------------------------
 
@@ -526,6 +562,8 @@ class Session:
                 job.cancel()
         if dispatcher is not None:
             dispatcher.join(timeout=5.0)
+        for resource in reversed(self._owned):
+            resource.close()
 
     def __enter__(self):
         return self
@@ -565,6 +603,8 @@ class Archive:
         density_maps=None,
         scheduler=None,
         batch_rows=4096,
+        workers=None,
+        process_shards=False,
     ):
         """Connect to a backend and open a :class:`Session`.
 
@@ -578,6 +618,16 @@ class Archive:
         per-container evaluation).  It has no effect on backend shapes
         that arrive with their batching already configured (a
         pre-built engine, an ``archive://`` URL).
+
+        ``workers`` sets the morsel-parallel pool width of engines built
+        here (``None`` = the ``REPRO_WORKERS`` environment variable,
+        else 1); like ``batch_rows`` it does not reconfigure a pre-built
+        engine or a remote server.  ``process_shards=True`` (requires
+        ``archive=``) serves each partition server from its *own OS
+        process* via :class:`~repro.distributed.process.ProcessShardCluster`
+        — N shards use N cores instead of N GIL-bound threads — and ties
+        the cluster's lifetime to the returned session; ``workers`` then
+        applies inside each shard process.
         """
         # Deferred imports keep repro.session importable without pulling
         # every backend package eagerly.
@@ -592,6 +642,30 @@ class Archive:
                 "or archive="
             )
         target = given[0]
+        owned = []
+
+        if process_shards:
+            if not isinstance(target, DistributedArchive):
+                raise TypeError(
+                    "process_shards=True needs archive= (a DistributedArchive "
+                    "whose servers become shard processes)"
+                )
+            from repro.distributed.process import ProcessShardCluster
+            from repro.net.cluster import RemotePartitionedExecutor
+
+            cluster = ProcessShardCluster.from_archive(target, workers=workers)
+            owned.append(cluster)
+            try:
+                executor = RemotePartitionedExecutor(
+                    cluster.urls, batch_rows=batch_rows
+                )
+            except Exception:
+                cluster.close()
+                raise
+            session = Session(executor, scheduler=scheduler)
+            for resource in owned:
+                session.adopt(resource)
+            return session
 
         if isinstance(target, str):
             # "archive://host:port": the network archive protocol.
@@ -624,13 +698,19 @@ class Archive:
         elif isinstance(target, DistributedArchive):
             executor = DistributedExecutor(
                 DistributedQueryEngine(
-                    target, density_maps=density_maps, batch_rows=batch_rows
+                    target,
+                    density_maps=density_maps,
+                    batch_rows=batch_rows,
+                    workers=workers,
                 )
             )
         elif isinstance(target, dict):
             executor = LocalExecutor(
                 QueryEngine(
-                    target, density_maps=density_maps, batch_rows=batch_rows
+                    target,
+                    density_maps=density_maps,
+                    batch_rows=batch_rows,
+                    workers=workers,
                 )
             )
         else:

@@ -41,6 +41,11 @@ class BufferPoolStats:
     bytes_read: int = 0
     #: bytes served out of the pool (hits)
     bytes_from_pool: int = 0
+    #: high-water mark of transient budget overshoot: ``fetch_many``
+    #: defers eviction to the end of the run, so residency may exceed
+    #: the budget by at most that run's bytes before the end-of-run
+    #: eviction restores the invariant (asserted there)
+    peak_overshoot_bytes: int = 0
 
     def accesses(self):
         """Total reads answered by the pool."""
@@ -101,13 +106,22 @@ class BufferPool:
         ``(table, from_pool)`` in input order.  The budget check runs
         once per run, not once per container — transiently holding one
         run over budget is the cost of not re-walking the LRU for every
-        tiny container in a coalesced read.
+        tiny container in a coalesced read.  The overshoot is *bounded*
+        (at most the run's own bytes, recorded in
+        ``stats.peak_overshoot_bytes``) and the end-of-run eviction
+        restores ``resident <= budget`` before the lock is released, so
+        no other reader can ever observe an over-budget pool.
         """
         with self._lock:
             results = [
                 self._fetch_locked(store, c, evict=False) for c in containers
             ]
             self._evict_over_budget()
+            if self.byte_budget is not None:
+                assert self._resident_bytes <= self.byte_budget, (
+                    f"buffer pool over budget after end-of-run eviction: "
+                    f"{self._resident_bytes} > {self.byte_budget}"
+                )
             return results
 
     def _fetch_locked(self, store, container, evict=True):
@@ -132,6 +146,12 @@ class BufferPool:
         self._resident_bytes += nbytes
         if evict:
             self._evict_over_budget()
+        elif self.byte_budget is not None:
+            # Deferred-eviction path (fetch_many): track how far the
+            # run transiently overshoots the budget.
+            overshoot = self._resident_bytes - self.byte_budget
+            if overshoot > self.stats.peak_overshoot_bytes:
+                self.stats.peak_overshoot_bytes = overshoot
         return table, False
 
     def contains(self, store, htm_id):

@@ -7,12 +7,48 @@ Tests that need mutation or special parameters build their own.
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.catalog import SkySimulator, SurveyParameters, make_tag_table
 from repro.query import QueryEngine
 from repro.storage import ContainerStore
+
+#: Suite-wide per-test wall-clock bound (seconds).  Generous — the point
+#: is that a deadlocked worker pool or wedged sweep fails one test with
+#: a traceback instead of hanging the whole run (locally and in CI,
+#: with or without REPRO_WORKERS).  Directory conftests may arm a
+#: tighter guard (tests/net uses 120s); nesting is safe because each
+#: guard saves and restores the previous handler and timer.
+SUITE_TEST_TIMEOUT = 300.0
+
+
+@pytest.fixture(autouse=True)
+def _suite_test_timeout():
+    """Fail — never hang — any test that wedges on a lock or stream."""
+    can_alarm = hasattr(signal, "SIGALRM") and (
+        threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {SUITE_TEST_TIMEOUT}s suite timeout guard "
+            "(deadlocked worker pool or wedged sweep?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, SUITE_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,117 @@
+"""Process-based shard backend: N shard servers in N OS processes.
+
+Differential against the in-process single-store oracle (the ``engine``
+fixture), plus the lifecycle contract: ``Archive.connect(...,
+process_shards=True)`` ties the cluster to the session, and closing the
+session reaps every shard process — no zombie children, no leaked
+sockets.
+
+One 2-shard cluster is shared module-wide: spawn-start cost (a full
+interpreter + numpy import per child) dominates, so tests treat the
+cluster as read-only the same way the other suites treat the shared
+stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.process import ProcessShardCluster, shard_handles
+from repro.session import Archive
+
+N_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def process_session(make_archive):
+    """A session over a 2-shard process cluster (treat as read-only)."""
+    archive = make_archive(N_SHARDS)
+    session = Archive.connect(archive=archive, process_shards=True, workers=2)
+    cluster = session._owned[0]
+    yield session, cluster
+    session.close()
+
+
+def _table(session, query):
+    return session.submit(query).cursor.to_table()
+
+
+DIFFERENTIAL = [
+    ("SELECT objid, ra, dec, mag_r FROM photo WHERE mag_r < 19", False),
+    ("SELECT objid, mag_r FROM photo ORDER BY mag_r LIMIT 20", True),
+    ("SELECT objid, mag_r FROM photo ORDER BY mag_r DESC LIMIT 20", True),
+    (
+        "SELECT objtype, COUNT(objid) AS n, AVG(mag_r) AS m FROM photo "
+        "GROUP BY objtype ORDER BY objtype",
+        True,
+    ),
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("query,ordered", DIFFERENTIAL)
+    def test_matches_single_store_oracle(
+        self, process_session, engine, assert_same_rows, query, ordered
+    ):
+        session, _cluster = process_session
+        expected = engine.execute(query).table()
+        got = _table(session, query)
+        assert_same_rows(expected, got, ordered=ordered)
+
+    def test_worker_telemetry_crosses_the_process_boundary(
+        self, process_session
+    ):
+        session, _cluster = process_session
+        job = session.submit("SELECT objid, mag_r FROM photo WHERE mag_r < 20")
+        job.cursor.to_table()
+        report = job.io_report()["workers"]
+        assert report is not None
+        assert report["configured"] == 2
+        assert report["active"] >= 1
+        assert report["utilization"] > 0.0
+
+
+class TestLifecycle:
+    def test_cluster_spawned_one_process_per_shard(self, process_session):
+        _session, cluster = process_session
+        assert len(cluster) == N_SHARDS
+        assert cluster.alive() == N_SHARDS
+        assert len(cluster.urls) == N_SHARDS
+        assert all(url.startswith("archive://127.0.0.1:") for url in cluster.urls)
+
+    def test_handles_cover_every_row_without_parent_state(self, make_archive):
+        archive = make_archive(N_SHARDS)
+        handles = shard_handles(archive)
+        assert len(handles) == N_SHARDS
+        total = sum(len(h["sources"]["photo"]) for h in handles)
+        assert total == archive.total_objects()
+        tag_total = sum(len(h["sources"]["tag"]) for h in handles)
+        assert tag_total > 0
+        assert all(h["depth"] == archive.depth for h in handles)
+
+    def test_session_close_reaps_every_shard_process(self, make_archive):
+        archive = make_archive(N_SHARDS)
+        session = Archive.connect(archive=archive, process_shards=True)
+        cluster = session._owned[0]
+        assert cluster.alive() == N_SHARDS
+        job = session.submit("SELECT objid FROM photo WHERE mag_r < 18")
+        job.cursor.to_table()
+        session.close()
+        assert cluster.alive() == 0
+        session.close()  # idempotent
+        assert cluster.alive() == 0
+
+    def test_cluster_close_is_idempotent(self, process_session):
+        """close() twice must be safe (session close will run it again)."""
+        # Build a throwaway single-shard cluster so the shared one stays up.
+        assert ProcessShardCluster([], [], []).alive() == 0
+        empty = ProcessShardCluster([], [], [])
+        empty.close()
+        empty.close()
+
+    def test_requires_a_distributed_archive(self, photo_store):
+        with pytest.raises(TypeError, match="process_shards"):
+            Archive.connect(
+                stores={"photo": photo_store}, process_shards=True
+            )

@@ -206,3 +206,86 @@ class TestManualMode:
         scanner.step()
         assert subscription.done
         assert scanner.active_subscriptions() == 0
+
+
+class TestThrottleRace:
+    """The throttle knob is read and written under the sweep's condition
+    variable: a mid-sweep change must take effect on the very next step
+    (no stale sleep), and a zero-throttle sweep with nothing deliverable
+    must block on the condition instead of busy-spinning."""
+
+    def test_throttle_roundtrips_through_the_lock(self, store):
+        scanner = store.sweeper()
+        assert scanner.throttle == 0.0
+        scanner.throttle = 0.25
+        assert scanner.throttle == 0.25
+        scanner.throttle = 0
+        assert scanner.throttle == 0.0
+
+    def test_midsweep_throttle_drop_takes_effect_immediately(self, store):
+        """Start heavily throttled (the whole store would take >20s),
+        drop the throttle mid-sweep, and require completion in a small
+        fraction of that — only possible if the live thread wakes out of
+        its pacing wait instead of serving the sweep at the stale rate."""
+        scanner = store.sweeper()
+        scanner.throttle = 0.25  # len(store.containers) * 0.25s >> 20s
+        subscription = scanner.subscribe()
+        collected = []
+        drainer = threading.Thread(target=_drain, args=(subscription, collected))
+        started = time.monotonic()
+        drainer.start()
+        try:
+            deadline = started + 10
+            while subscription.seen < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert subscription.seen >= 2, "sweep never started"
+            scanner.throttle = 0.0
+            drainer.join(timeout=20)
+            assert not drainer.is_alive(), (
+                "sweep still pacing at the stale throttle after the change"
+            )
+            elapsed = time.monotonic() - started
+            assert elapsed < 20
+            assert sorted(h for h, _r, _p in collected) == store.occupied_ids()
+        finally:
+            subscription.cancel()
+            scanner.throttle = 0.0
+            drainer.join(timeout=5)
+
+    def test_midsweep_throttle_raise_slows_the_sweep(self, store):
+        """The converse race: raising the throttle mid-sweep must pace
+        *remaining* deliveries (the change is picked up under the lock
+        each iteration, not latched at subscribe time)."""
+        scanner = store.sweeper()
+        scanner.throttle = 0.001
+        subscription = scanner.subscribe()
+        iterator = iter(subscription)
+        next(iterator)
+        scanner.throttle = 0.05
+        paced_started = time.monotonic()
+        for _ in range(4):
+            next(iterator)
+        paced = time.monotonic() - paced_started
+        subscription.cancel()
+        scanner.throttle = 0.0
+        # 4 deliveries at 0.05s/container cannot beat ~3 waits; generous
+        # lower bound to stay robust on loaded CI boxes.
+        assert paced > 0.05, f"throttle raise ignored mid-sweep ({paced:.3f}s)"
+
+    def test_idle_wait_is_condition_based_not_spinning(self, store):
+        """A live sweep whose subscribers all cancelled parks in a
+        bounded condition wait; a new subscriber must still be served
+        promptly (the subscribe notifies the waiting thread awake)."""
+        scanner = store.sweeper()
+        scanner.throttle = 0.001
+        first = scanner.subscribe()
+        iterator = iter(first)
+        next(iterator)
+        first.cancel()
+        deadline = time.time() + 10
+        while scanner.active_subscriptions() and time.time() < deadline:
+            time.sleep(0.005)
+        assert scanner.active_subscriptions() == 0
+        scanner.throttle = 0.0
+        healthy = [h for h, _t, _p in scanner.subscribe()]
+        assert healthy == store.occupied_ids()

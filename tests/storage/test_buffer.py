@@ -144,3 +144,53 @@ class TestSharedPool:
         store = ContainerStore.from_table(photo, depth=2)
         other = ContainerStore(store.schema, store.depth, buffer_pool=pool)
         assert other.buffer_pool is pool
+
+
+class TestFetchManyOvershoot:
+    """``fetch_many`` defers eviction to end-of-run, so residency may
+    transiently exceed the budget — but only *inside* the lock, by at
+    most the run's own bytes, and the end-of-run eviction must restore
+    the invariant before any other reader can look."""
+
+    def _tight_store(self, store, budget):
+        pool = BufferPool(byte_budget=budget)
+        tight = ContainerStore(store.schema, store.depth, buffer_pool=pool)
+        tight.containers = store.containers
+        return tight, pool
+
+    def test_budget_restored_after_each_run(self, store):
+        ids = store.occupied_ids()
+        sizes = [store.containers[i].nbytes() for i in ids]
+        budget = max(sizes)  # every run is larger than the whole budget
+        tight, pool = self._tight_store(store, budget)
+        containers = [tight.containers[i] for i in ids]
+        results = pool.fetch_many(tight, containers)
+        assert len(results) == len(ids)
+        assert pool.resident_bytes() <= budget
+        assert pool.stats.evictions >= len(ids) - 1
+
+    def test_overshoot_is_recorded_and_bounded_by_run_bytes(self, store):
+        ids = store.occupied_ids()
+        run_bytes = sum(store.containers[i].nbytes() for i in ids)
+        budget = store.containers[ids[0]].nbytes()
+        tight, pool = self._tight_store(store, budget)
+        pool.fetch_many(tight, [tight.containers[i] for i in ids])
+        overshoot = pool.stats.peak_overshoot_bytes
+        assert overshoot > 0  # the run did exceed the budget mid-flight
+        assert overshoot <= run_bytes
+        assert pool.resident_bytes() <= budget
+
+    def test_within_budget_run_never_overshoots(self, store):
+        ids = store.occupied_ids()
+        run = [store.containers[i] for i in ids[:2]]
+        budget = sum(c.nbytes() for c in run)
+        tight, pool = self._tight_store(store, budget)
+        pool.fetch_many(tight, run)
+        assert pool.stats.peak_overshoot_bytes == 0
+        assert pool.stats.evictions == 0
+
+    def test_unbounded_pool_records_no_overshoot(self, store):
+        ids = store.occupied_ids()
+        pool = store.buffer_pool
+        pool.fetch_many(store, [store.containers[i] for i in ids])
+        assert pool.stats.peak_overshoot_bytes == 0
