@@ -21,10 +21,13 @@ every concurrent predicate.
 
 from __future__ import annotations
 
+import threading
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["Job", "MachineScheduler"]
+__all__ = ["Job", "MachineScheduler", "DeficitRoundRobin"]
 
 
 @dataclass
@@ -32,8 +35,9 @@ class Job:
     """One submitted job.
 
     ``machine`` is 'sweep', 'sweep:<store>', 'hash', 'river' (or the
-    legacy 'scan'/'scan:<server_id>' names); ``duration`` is the job's
-    simulated run time (for sweep jobs: one full sweep).
+    deprecated 'scan'/'scan:<server_id>' names); ``duration`` is the
+    job's simulated run time (for sweep jobs: one full sweep).
+    ``user`` is the submitting tenant (multi-tenant batch accounting).
     """
 
     name: str
@@ -42,6 +46,7 @@ class Job:
     arrival_time: float = 0.0
     started_at: Optional[float] = None
     completed_at: Optional[float] = None
+    user: str = "anonymous"
 
     def turnaround(self):
         """Simulated seconds from arrival to completion."""
@@ -66,12 +71,20 @@ class MachineScheduler:
     @staticmethod
     def is_scan_machine(machine):
         """True for the interactive sweep class: ``'sweep'`` /
-        ``'sweep:<store>'`` (or the legacy ``'scan'``/``'scan:<k>'``)."""
-        return (
-            machine in ("scan", "sweep")
-            or machine.startswith("scan:")
-            or machine.startswith("sweep:")
-        )
+        ``'sweep:<store>'``.
+
+        The pre-sweep ``'scan'``/``'scan:<k>'`` aliases still classify
+        identically but are deprecated; use the sweep names.
+        """
+        if machine == "scan" or machine.startswith("scan:"):
+            warnings.warn(
+                "the 'scan'/'scan:<id>' machine names are deprecated; "
+                "use 'sweep'/'sweep:<id>'",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return True
+        return machine == "sweep" or machine.startswith("sweep:")
 
     def __init__(self):
         self.completed = []
@@ -126,3 +139,104 @@ class MachineScheduler:
         if not relevant:
             return 0.0
         return sum(j.turnaround() for j in relevant) / len(relevant)
+
+
+class DeficitRoundRobin:
+    """Fair-share batch queue: deficit round robin across users.
+
+    Replaces the global FIFO in front of the batch machine.  Each user
+    with backlog sits in a rotation; every full pass of the rotation (a
+    *round*) credits each backlogged user one ``quantum`` of deficit,
+    and a user's head-of-queue item is dispatched when its ``cost`` fits
+    the accumulated deficit.  With unit costs (the default) this
+    degenerates to strict round-robin — and with a single user, to the
+    plain FIFO this class replaced — while still guaranteeing
+    no-starvation in general: a user's head item waits at most
+    ``ceil(cost / quantum)`` rounds regardless of how hard other users
+    flood the queue.
+
+    Thread-safe.  :meth:`get` blocks until an item is available and
+    returns ``(user, item, round)``, or ``None`` once the queue is
+    closed *and* drained (close-then-drain matches the FIFO's
+    sentinel-last semantics: items enqueued before close still come
+    out).  ``rounds`` and per-user ``dispatched`` counts are the
+    deterministic fairness evidence tests assert on.
+    """
+
+    def __init__(self, quantum=1.0):
+        self.quantum = float(quantum)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._queues = {}  # user -> deque[(item, cost)]
+        self._rotation = []  # users with backlog, in visit order
+        self._cursor = 0
+        self._deficits = {}
+        self._charged = set()  # users credited this round
+        self._closed = False
+        #: completed passes over the rotation
+        self.rounds = 0
+        #: items dispatched per user
+        self.dispatched = {}
+
+    def put(self, user, item, cost=1.0):
+        """Enqueue one item for ``user`` (FIFO within the user)."""
+        with self._ready:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            backlog = self._queues.setdefault(user, deque())
+            if not backlog:
+                self._rotation.append(user)
+                self._deficits.setdefault(user, 0.0)
+            backlog.append((item, float(cost)))
+            self._ready.notify()
+
+    def get(self):
+        """Next ``(user, item, round)`` in fair-share order (blocking),
+        or ``None`` when closed and drained."""
+        with self._ready:
+            while True:
+                if self._rotation:
+                    return self._next_locked()
+                if self._closed:
+                    return None
+                self._ready.wait()
+
+    def _next_locked(self):
+        while True:
+            if self._cursor >= len(self._rotation):
+                self._cursor = 0
+                self.rounds += 1
+                self._charged.clear()
+            user = self._rotation[self._cursor]
+            if user not in self._charged:
+                self._deficits[user] += self.quantum
+                self._charged.add(user)
+            backlog = self._queues[user]
+            item, cost = backlog[0]
+            if self._deficits[user] >= cost:
+                backlog.popleft()
+                self._deficits[user] -= cost
+                self.dispatched[user] = self.dispatched.get(user, 0) + 1
+                if not backlog:
+                    # Backlog drained: leave the rotation and forfeit
+                    # the remaining deficit (an idle user must not bank
+                    # credit against future rounds).
+                    self._rotation.pop(self._cursor)
+                    del self._deficits[user]
+                    self._charged.discard(user)
+                return (user, item, self.rounds)
+            # Not enough deficit yet: carry it, visit the next user.
+            self._cursor += 1
+
+    def pending(self, user=None):
+        """Queued item count, for one user or in total."""
+        with self._lock:
+            if user is not None:
+                return len(self._queues.get(user, ()))
+            return sum(len(q) for q in self._queues.values())
+
+    def close(self):
+        """Stop accepting items; blocked getters drain then see None."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()

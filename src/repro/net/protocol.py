@@ -25,7 +25,11 @@ Operations
     container depth, each source's occupied container-id ranges (the
     coordinator's basis for remote shard pruning), and the table-frame
     compression codecs the server speaks (the client's basis for
-    negotiating compressed result streams).
+    negotiating compressed result streams).  With ``user``/``token``
+    fields, hello doubles as the per-connection authentication
+    exchange: a server with a user registry validates them (structured
+    error on mismatch) and refuses every other op from connections
+    that have not authenticated.
 ``prepare``
     Parse + plan a query server-side without starting it; returns the
     static output schema, fan-out reports, routed sources, and the
@@ -43,15 +47,23 @@ Operations
     results are simply ``done`` with zero batches — the client already
     holds the static output schema, so they stay well-formed tables.
 ``cancel``
-    Cancel a job (any connection may cancel any job id — the client's
-    out-of-band cancel path), stopping every server-side QET thread.
+    Cancel a job, stopping every server-side QET thread (the client's
+    out-of-band cancel path).  Job handles are owner-scoped: once a
+    connection authenticates, fetch/cancel/stats on another tenant's
+    job id is refused with a structured authentication error.
 ``job_stats``
     Per-QET-node execution counters of a job, serialized
     :class:`~repro.query.qet.NodeStats` — so remote jobs aggregate real
     telemetry instead of returning empty stats client-side.
 ``io_report``
     The job's shared-scan I/O report plus the raw sweep/pool counters
-    the client folds into :meth:`~repro.session.core.Job.io_report`.
+    the client folds into :meth:`~repro.session.core.Job.io_report` —
+    and, on cache-enabled servers, the result-cache counters (with a
+    per-job ``hit`` flag), so cache telemetry survives the wire.
+``mydb``
+    Control-plane MyDB workspace operations for the connection's user:
+    ``list`` (bare table names), ``usage`` (tables/bytes/quota), and
+    ``drop`` (delete one table).
 ``error``
     Structured failure: exception class, module and message.  The client
     re-raises the *original* exception class when it can be resolved
@@ -402,6 +414,7 @@ TRUSTED_ERROR_MODULES = (
     "builtins",
     "repro.query.errors",
     "repro.session.core",
+    "repro.service.errors",
     "repro.net.protocol",
 )
 

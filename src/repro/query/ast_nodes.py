@@ -76,9 +76,11 @@ class Select:
     """A single SELECT statement.
 
     ``columns`` is a list of (expr, alias-or-None); the empty list means
-    ``SELECT *``.  ``source`` names the table ('photo', 'tag', 'spectro').
-    ``group_by`` lists grouping expressions; ``having`` filters groups
-    (references output column names).
+    ``SELECT *``.  ``source`` names the table ('photo', 'tag', 'spectro')
+    or a user workspace table ('mydb.bright').  ``group_by`` lists
+    grouping expressions; ``having`` filters groups (references output
+    column names).  ``into`` names a ``SELECT ... INTO mydb.x``
+    destination (None for ordinary queries).
     """
 
     columns: tuple
@@ -88,6 +90,7 @@ class Select:
     having: Expr | None = None
     order_by: tuple = ()
     limit: int | None = None
+    into: str | None = None
 
 
 @dataclass(frozen=True)

@@ -194,20 +194,31 @@ class QueryEngine:
         root, _schema, _plans = self.prepare_tree(ast, allow_tag_route)
         return root
 
-    def prepare_tree(self, ast, allow_tag_route=True):
+    def prepare_tree(self, ast, allow_tag_route=True, extra_stores=None):
         """Build an unstarted QET plus its static output metadata.
 
         Returns ``(root, empty_schema, plans)``: the tree, the
         statically-derived output schema (a set operation reports its
         left branch's schema), and the :class:`QueryPlan` of every
-        SELECT in execution order.
+        SELECT in execution order.  ``extra_stores`` overlays additional
+        sources (e.g. a user's ``mydb.*`` workspace tables) for this
+        query only, without mutating the engine's catalog.
         """
+        if extra_stores:
+            stores = {**self.stores, **extra_stores}
+            schemas = {name: store.schema for name, store in stores.items()}
+        else:
+            stores = self.stores
+            schemas = self.schemas
+        return self._prepare_tree(ast, allow_tag_route, stores, schemas)
+
+    def _prepare_tree(self, ast, allow_tag_route, stores, schemas):
         if isinstance(ast, SetOp):
-            left, left_schema, left_plans = self.prepare_tree(
-                ast.left, allow_tag_route
+            left, left_schema, left_plans = self._prepare_tree(
+                ast.left, allow_tag_route, stores, schemas
             )
-            right, _right_schema, right_plans = self.prepare_tree(
-                ast.right, allow_tag_route
+            right, _right_schema, right_plans = self._prepare_tree(
+                ast.right, allow_tag_route, stores, schemas
             )
             plans = left_plans + right_plans
             if ast.op == "UNION":
@@ -222,21 +233,21 @@ class QueryEngine:
 
         plan = plan_query(
             ast,
-            self.schemas,
+            schemas,
             density_maps=self.density_maps,
             allow_tag_route=allow_tag_route,
         )
-        root = self._select_tree(plan)
-        return root, output_schema_for(plan, self.schemas), [plan]
+        root = self._select_tree(plan, stores)
+        return root, output_schema_for(plan, schemas), [plan]
 
-    def _select_tree(self, plan):
+    def _select_tree(self, plan, stores=None):
         """The single-store QET for one planned SELECT.
 
         ``ORDER BY ... LIMIT k`` fuses into a streaming
         :class:`TopKNode` (bounded candidate buffer) instead of the
         full-materialize ``SortNode -> LimitNode`` pair.
         """
-        store = self.stores[plan.routed_source]
+        store = (stores if stores is not None else self.stores)[plan.routed_source]
         workers = self.workers
         node = ScanNode(
             store, plan, batch_rows=self.batch_rows, workers=workers
@@ -309,10 +320,12 @@ class QueryEngine:
     # execution
     # ------------------------------------------------------------------
 
-    def prepare(self, text, allow_tag_route=True):
+    def prepare(self, text, allow_tag_route=True, extra_stores=None):
         """Parse and plan without starting: ``(root, empty_schema, plans)``."""
         ast = parse_query(text)
-        return self.prepare_tree(ast, allow_tag_route=allow_tag_route)
+        return self.prepare_tree(
+            ast, allow_tag_route=allow_tag_route, extra_stores=extra_stores
+        )
 
     def execute(self, text, allow_tag_route=True):
         """Parse, plan, and start a query; returns a :class:`QueryResult`.

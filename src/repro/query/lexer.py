@@ -28,6 +28,7 @@ KEYWORDS = {
     "ASC",
     "DESC",
     "LIMIT",
+    "INTO",
     "UNION",
     "INTERSECT",
     "EXCEPT",
@@ -37,7 +38,7 @@ KEYWORDS = {
 }
 
 #: Multi-character operators, longest first so '>=' wins over '>'.
-_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",")
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".")
 
 
 @dataclass(frozen=True)

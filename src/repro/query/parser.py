@@ -5,10 +5,11 @@ Grammar (roughly)::
     query       := set_expr
     set_expr    := atom (("UNION" | "INTERSECT" | "EXCEPT") atom)*
     atom        := select | "(" set_expr ")"
-    select      := "SELECT" select_list "FROM" ident
+    select      := "SELECT" select_list ["INTO" qualified] "FROM" qualified
                    ["WHERE" or_expr]
                    ["ORDER" "BY" order_list]
                    ["LIMIT" number]
+    qualified   := ident ["." ident]
     select_list := "*" | expr ["AS" ident] ("," expr ["AS" ident])*
     or_expr     := and_expr ("OR" and_expr)*
     and_expr    := not_expr ("AND" not_expr)*
@@ -39,7 +40,13 @@ from repro.query.ast_nodes import (
 from repro.query.errors import ParseError
 from repro.query.lexer import tokenize
 
-__all__ = ["parse_query", "parse_expression"]
+__all__ = [
+    "parse_query",
+    "parse_expression",
+    "normalize_query",
+    "extract_into",
+    "query_sources",
+]
 
 
 class _Parser:
@@ -114,11 +121,21 @@ class _Parser:
             node = SetOp(op, node, right)
         return node
 
+    def parse_qualified_name(self):
+        """A possibly dotted name (``mydb.bright``), lowercased."""
+        parts = [self.expect("ident").value]
+        while self.accept("op", "."):
+            parts.append(self.expect("ident").value)
+        return ".".join(parts).lower()
+
     def parse_select(self):
         self.expect("keyword", "SELECT")
         columns = self.parse_select_list()
+        into = None
+        if self.accept("keyword", "INTO"):
+            into = self.parse_qualified_name()
         self.expect("keyword", "FROM")
-        source = self.expect("ident").value.lower()
+        source = self.parse_qualified_name()
         where = None
         if self.accept("keyword", "WHERE"):
             where = self.parse_or()
@@ -150,6 +167,7 @@ class _Parser:
             having=having,
             order_by=order_by,
             limit=limit,
+            into=into,
         )
 
     def parse_select_list(self):
@@ -281,3 +299,55 @@ def parse_expression(text):
     node = parser.parse_or()
     parser.expect("eof")
     return node
+
+
+def normalize_query(text):
+    """Canonical single-spaced form of query text, for cache keying.
+
+    Re-joins the token stream with single spaces so whitespace, line
+    comments, and keyword letter case stop mattering, while identifier
+    case and string contents are preserved (strings are re-quoted with
+    single quotes).  ``<>`` canonicalizes to ``!=``.  Two queries with
+    the same normalized form are lexically the same query.
+    """
+    parts = []
+    for token in tokenize(text):
+        if token.kind == "eof":
+            break
+        if token.kind == "string":
+            parts.append(f"'{token.value}'")
+        elif token.kind == "op" and token.value == "<>":
+            parts.append("!=")
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
+
+
+def extract_into(ast):
+    """The ``INTO`` destination of a parsed query tree, or ``None``.
+
+    Only a *top-level* SELECT may carry an INTO clause; one nested under
+    a set operation raises :class:`ParseError`.
+    """
+    if isinstance(ast, Select):
+        return ast.into
+    if isinstance(ast, SetOp):
+        for side in (ast.left, ast.right):
+            if extract_into(side) is not None:
+                raise ParseError("INTO is only allowed on a top-level SELECT")
+        return None
+    return None
+
+
+def query_sources(ast):
+    """Distinct source names referenced by a parsed query tree, in order."""
+    sources = []
+    stack = [ast]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SetOp):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, Select) and node.source not in sources:
+            sources.append(node.source)
+    return sources

@@ -1,0 +1,38 @@
+"""The multi-tenant service tier over the archive session layer.
+
+The paper's archive grew into shared services (SkyServer, CasJobs)
+where thousands of users hit one installation; this package is that
+layer: a generation-validated result cache (:mod:`repro.service.cache`),
+per-user MyDB workspaces (:mod:`repro.service.mydb`), per-user batch
+admission quotas (:mod:`repro.service.admission`), and token
+authentication (:mod:`repro.service.auth`), bundled by
+:class:`~repro.service.tier.ServiceTier` and consumed by
+:class:`~repro.session.core.Session` and
+:class:`~repro.net.server.ArchiveServer`.
+"""
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.auth import UserRegistry
+from repro.service.cache import CachedResultNode, CacheStats, ResultCache
+from repro.service.errors import (
+    AuthenticationError,
+    MyDBError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.service.mydb import MyDBManager
+from repro.service.tier import ServiceTier
+
+__all__ = [
+    "ServiceTier",
+    "UserRegistry",
+    "ResultCache",
+    "CacheStats",
+    "CachedResultNode",
+    "MyDBManager",
+    "AdmissionPolicy",
+    "ServiceError",
+    "AuthenticationError",
+    "QuotaExceededError",
+    "MyDBError",
+]

@@ -1,0 +1,45 @@
+"""Per-user admission quotas for the batch queue.
+
+Fair-share *dispatch* lives in
+:class:`~repro.machines.scheduler.DeficitRoundRobin`; this module is the
+*admission* half: a cap on how many batch jobs one user may have queued
+at once, so a single tenant cannot grow the backlog without bound even
+though dispatch would still be fair.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.errors import QuotaExceededError
+
+__all__ = ["AdmissionPolicy"]
+
+
+class AdmissionPolicy:
+    """Quota check applied at batch submission.
+
+    ``max_queued_per_user=None`` disables the cap (the default);
+    rejections are counted per user in :attr:`rejected`.
+    """
+
+    def __init__(self, max_queued_per_user=None):
+        self.max_queued_per_user = (
+            None if max_queued_per_user is None else int(max_queued_per_user)
+        )
+        self.rejected = {}
+        self._lock = threading.Lock()
+
+    def check(self, user, queued):
+        """Raise :class:`QuotaExceededError` when admitting one more
+        batch job for ``user`` (already holding ``queued``) would exceed
+        the cap."""
+        cap = self.max_queued_per_user
+        if cap is None or queued < cap:
+            return
+        with self._lock:
+            self.rejected[user] = self.rejected.get(user, 0) + 1
+        raise QuotaExceededError(
+            f"user {user!r} already has {queued} batch jobs queued "
+            f"(cap {cap})"
+        )

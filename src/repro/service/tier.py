@@ -1,0 +1,60 @@
+"""The service tier bundle: one object wiring cache + MyDB + quotas + auth.
+
+A :class:`ServiceTier` is what turns a single-user :class:`Session`
+into the multi-tenant service the paper's production successors ran:
+pass one to :meth:`Archive.connect(service=...)` or
+:class:`~repro.net.server.ArchiveServer` and every submission flows
+through the result cache, the user's MyDB overlay, and the per-user
+admission quota, under the identity the registry authenticated.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.auth import UserRegistry
+from repro.service.cache import DEFAULT_CACHE_BYTES, ResultCache
+from repro.service.mydb import DEFAULT_MYDB_QUOTA, MyDBManager
+
+__all__ = ["ServiceTier"]
+
+
+class ServiceTier:
+    """One archive's multi-tenant policy and shared state.
+
+    Parameters
+    ----------
+    auth:
+        ``None`` (no authentication — every claimed user is accepted,
+        defaulting to ``"anonymous"``), a ``{user: token}`` mapping, or
+        a :class:`UserRegistry`.
+    cache:
+        ``False``/``None`` disables the result cache; ``True`` enables
+        it with the default byte budget; an ``int`` sets the budget; a
+        :class:`ResultCache` is used as-is.
+    mydb_quota_bytes:
+        Per-user MyDB byte quota.
+    max_queued_per_user:
+        Cap on queued batch jobs per user (``None`` = uncapped).
+    """
+
+    def __init__(
+        self,
+        auth=None,
+        cache=False,
+        mydb_quota_bytes=DEFAULT_MYDB_QUOTA,
+        max_queued_per_user=None,
+    ):
+        if auth is None or isinstance(auth, UserRegistry):
+            self.auth = auth
+        else:
+            self.auth = UserRegistry(auth)
+        if cache is None or cache is False:
+            self.cache = None
+        elif cache is True:
+            self.cache = ResultCache(DEFAULT_CACHE_BYTES)
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(int(cache))
+        self.mydb = MyDBManager(quota_bytes=mydb_quota_bytes)
+        self.admission = AdmissionPolicy(max_queued_per_user)

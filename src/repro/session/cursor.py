@@ -102,20 +102,25 @@ class Cursor:
     def _pull(self):
         """Next batch from the execution tree, or ``None`` at the end.
 
-        Exhaustion marks the job DONE; an execution error marks it
-        FAILED before re-raising.  Callers must have passed the
-        readability gate (see :meth:`_next_batch`).
+        Exhaustion runs the job's completion sinks (cache fill, INTO
+        materialization) and marks it DONE — or surfaces a sink failure
+        (e.g. a MyDB quota error) to the reader.  An execution error
+        marks the job FAILED before re-raising.  Callers must have
+        passed the readability gate (see :meth:`_next_batch`).
         """
         try:
             batch = next(self._underlying)
         except StopIteration:
-            self._job._note_done()
+            self._job._complete_drain()
+            if self._job.error is not None:
+                raise self._job.error
             return None
         except ExecutionError as exc:
             self._job._note_failed(exc)
             raise
         if self._seen_schema is None:
             self._seen_schema = batch.schema
+        self._job._collect(batch)
         return batch
 
     def _next_batch(self):

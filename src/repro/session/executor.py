@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.query.parser import extract_into, parse_query
+
 __all__ = [
     "PreparedQuery",
     "Executor",
@@ -56,6 +58,10 @@ class PreparedQuery:
         after tag routing) — the stores whose shared sweeps this query
         rides; the session admits one ``sweep:<source>`` machine job per
         distinct source for single-store backends.
+    into:
+        The ``SELECT ... INTO mydb.x`` destination, or ``None`` for
+        ordinary queries.  The session layer materializes the drained
+        result into the submitting user's MyDB workspace.
     """
 
     text: str
@@ -63,6 +69,7 @@ class PreparedQuery:
     schema: object = None
     reports: list = field(default_factory=list)
     sources: list = field(default_factory=list)
+    into: str | None = None
 
     def simulated_seconds(self):
         """Total simulated scan seconds across the fan-out (0.0 when the
@@ -84,20 +91,38 @@ class LocalExecutor(Executor):
     """Adapter: a single-store :class:`~repro.query.engine.QueryEngine`."""
 
     kind = "local"
+    #: this backend can overlay per-user MyDB stores and run INTO
+    supports_mydb = True
 
     def __init__(self, engine):
         self.engine = engine
 
-    def prepare(self, text, allow_tag_route=True):
-        root, schema, plans = self.engine.prepare(
-            text, allow_tag_route=allow_tag_route
+    def prepare(self, text, allow_tag_route=True, extra_stores=None):
+        ast = parse_query(text)
+        root, schema, plans = self.engine.prepare_tree(
+            ast, allow_tag_route=allow_tag_route, extra_stores=extra_stores
         )
         return PreparedQuery(
             text=text,
             root=root,
             schema=schema,
             sources=[plan.routed_source for plan in plans],
+            into=extract_into(ast),
         )
+
+    def generations_for(self, sources, extra_stores=None):
+        """``{source: (store_uid, generation)}`` snapshot for cache
+        validation, or ``None`` when a source does not resolve."""
+        stores = self.engine.stores
+        if extra_stores:
+            stores = {**stores, **extra_stores}
+        generations = {}
+        for source in sources:
+            store = stores.get(source)
+            if store is None:
+                return None
+            generations[source] = (store.store_uid, store.generation)
+        return generations
 
 
 class DistributedExecutor(Executor):
@@ -105,11 +130,14 @@ class DistributedExecutor(Executor):
     :class:`~repro.distributed.engine.DistributedQueryEngine`."""
 
     kind = "distributed"
+    #: per-user store overlays do not partition across shards (yet)
+    supports_mydb = False
 
     def __init__(self, engine):
         self.engine = engine
 
     def prepare(self, text, allow_tag_route=True):
+        ast = parse_query(text)
         root, schema, reports = self.engine.prepare(
             text, allow_tag_route=allow_tag_route
         )
@@ -119,4 +147,22 @@ class DistributedExecutor(Executor):
             schema=schema,
             reports=reports,
             sources=[report.source for report in reports],
+            into=extract_into(ast),
         )
+
+    def generations_for(self, sources, extra_stores=None):
+        """Per-source tuples of every shard's ``(store_uid, generation)``
+        — a mutation on *any* partition server invalidates."""
+        archive = getattr(self.engine, "archive", None)
+        if archive is None:
+            return None
+        generations = {}
+        for source in sources:
+            pairs = []
+            for server in archive.servers:
+                store = server.stores().get(source)
+                if store is None:
+                    return None
+                pairs.append((store.store_uid, store.generation))
+            generations[source] = tuple(pairs)
+        return generations

@@ -171,7 +171,9 @@ class DistributedArchive:
             server.attach_store(name, ContainerStore(table.schema, self.depth))
         for htm_id, container in staging.containers.items():
             owner = self.servers[self.partition_map.server_for(htm_id)]
-            owner.extra_stores[name].get_or_create(htm_id).append(container.table)
+            store = owner.extra_stores[name]
+            store.get_or_create(htm_id).append(container.table)
+            store.note_mutation([htm_id])
 
     def enable_replication(self, replication_factor=2, hot_fraction=0.05):
         """Attach a :class:`~repro.storage.replication.ReplicationManager`.
@@ -209,6 +211,7 @@ class DistributedArchive:
         for htm_id, container in staging.containers.items():
             owner = self.servers[self.partition_map.server_for(htm_id)]
             owner.store.get_or_create(htm_id).append(container.table)
+            owner.store.note_mutation([htm_id])
 
     def _set_partition_map(self, partition_map):
         """Install a rebuilt map, keeping the replication manager's view
@@ -241,8 +244,10 @@ class DistributedArchive:
                     target = self.partition_map.server_for(htm_id)
                     if target != server.server_id:
                         container = store.containers.pop(htm_id)
+                        store.note_mutation([htm_id])
                         destination = self.servers[target].stores()[source_name]
                         destination.get_or_create(htm_id).append(container.table)
+                        destination.note_mutation([htm_id])
                         moved_objects += len(container)
         return moved_objects
 

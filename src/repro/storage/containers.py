@@ -16,6 +16,7 @@ how much work each category caused.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -72,6 +73,13 @@ class Container:
         return f"Container(htm_id={self.htm_id}, rows={len(self)})"
 
 
+#: process-wide monotone store ids — identity tokens that (unlike
+#: ``id()``) are never reused after garbage collection, so a cached
+#: result keyed on ``(store_uid, generation)`` can never accidentally
+#: validate against a different store that landed at the same address
+_STORE_UIDS = itertools.count(1)
+
+
 class ContainerStore:
     """All containers of one catalog at a fixed container depth.
 
@@ -82,6 +90,11 @@ class ContainerStore:
     two halves of the shared-scan I/O layer.  A pool may be shared
     between stores (e.g. all sources of one partition server) by passing
     ``buffer_pool``.
+
+    Mutations (chunk loads) must call :meth:`note_mutation`: it bumps
+    the store's monotone ``generation`` — the validity token of any
+    result cached over this store — and invalidates the touched buffer-
+    pool entries, so cache keying and pool invalidation share one seam.
     """
 
     def __init__(self, schema, depth, buffer_pool=None):
@@ -91,6 +104,28 @@ class ContainerStore:
         self.containers = {}
         self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
         self._sweeper = None
+        #: identity token of this store object (monotone, never reused)
+        self.store_uid = next(_STORE_UIDS)
+        #: bumped once per mutating operation (chunk load, append, ...);
+        #: a cached result derived from generation g is stale iff the
+        #: store's generation moved past g
+        self.generation = 0
+
+    def note_mutation(self, htm_ids=None):
+        """Record one mutating operation against this store.
+
+        Bumps :attr:`generation` and invalidates the buffer pool for the
+        touched container ids (all of them when ``htm_ids`` is None) —
+        the single seam both result-cache invalidation and pool
+        invalidation hang off.  Returns the new generation.
+        """
+        self.generation += 1
+        if htm_ids is None:
+            self.buffer_pool.invalidate(self)
+        else:
+            for htm_id in htm_ids:
+                self.buffer_pool.invalidate(self, int(htm_id))
+        return self.generation
 
     @classmethod
     def from_table(cls, table, depth, buffer_pool=None):

@@ -90,6 +90,11 @@ class ChunkLoader:
             if created:
                 report.containers_created += 1
 
+        # One mutation seam: bump the store generation (staling any
+        # cached results derived from it) and invalidate the touched
+        # buffer-pool entries in the same call.
+        self.store.note_mutation(needed)
+
         self.history.append(report)
         return report
 

@@ -18,11 +18,16 @@ class TestScanMachineNaming:
         assert MachineScheduler.is_scan_machine("sweep")
         assert MachineScheduler.is_scan_machine("sweep:0")
         assert MachineScheduler.is_scan_machine("sweep:photo")
-        # Legacy names stay recognized as the same interactive class.
-        assert MachineScheduler.is_scan_machine("scan")
-        assert MachineScheduler.is_scan_machine("scan:17")
         assert not MachineScheduler.is_scan_machine("hash")
         assert not MachineScheduler.is_scan_machine("river")
+
+    def test_legacy_scan_names_deprecated_but_recognized(self):
+        # The pre-sweep names still classify as the interactive class —
+        # existing callers keep working — but warn so they migrate.
+        with pytest.warns(DeprecationWarning):
+            assert MachineScheduler.is_scan_machine("scan")
+        with pytest.warns(DeprecationWarning):
+            assert MachineScheduler.is_scan_machine("scan:17")
 
     def test_per_server_sweep_jobs_overlap(self):
         scheduler = MachineScheduler()

@@ -112,8 +112,8 @@ class TestScheduler:
     def test_scan_jobs_overlap(self):
         scheduler = MachineScheduler()
         jobs = [
-            Job("a", "scan", duration=100.0, arrival_time=0.0),
-            Job("b", "scan", duration=100.0, arrival_time=10.0),
+            Job("a", "sweep", duration=100.0, arrival_time=0.0),
+            Job("b", "sweep", duration=100.0, arrival_time=10.0),
         ]
         scheduler.run(jobs)
         assert jobs[0].completed_at == 100.0
@@ -154,12 +154,12 @@ class TestScheduler:
         scheduler = MachineScheduler()
         scheduler.run(
             [
-                Job("a", "scan", duration=10.0),
+                Job("a", "sweep", duration=10.0),
                 Job("b", "hash", duration=30.0),
             ]
         )
         assert scheduler.mean_turnaround() == pytest.approx(20.0)
-        assert scheduler.mean_turnaround("scan") == pytest.approx(10.0)
+        assert scheduler.mean_turnaround("sweep") == pytest.approx(10.0)
         assert scheduler.mean_turnaround("river") == 0.0
 
 

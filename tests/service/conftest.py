@@ -1,0 +1,80 @@
+"""Fixtures for the multi-tenant service tier.
+
+Unlike the shared read-only session stores, service tests need
+*mutable* stores (loader mutations drive cache invalidation) and
+per-test tiers (cache and MyDB state must not leak between tests), so
+everything here is function-scoped and built fresh from the shared
+catalog tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import QueryEngine
+from repro.service import ServiceTier
+from repro.session import Archive
+from repro.storage import ContainerStore
+
+
+@pytest.fixture()
+def fresh_stores(photo, tags):
+    """Fresh, privately-owned stores over the shared catalog tables."""
+    return {
+        "photo": ContainerStore.from_table(photo, depth=5),
+        "tag": ContainerStore.from_table(tags, depth=5),
+    }
+
+
+@pytest.fixture()
+def fresh_engine(fresh_stores):
+    return QueryEngine(fresh_stores)
+
+
+@pytest.fixture()
+def tier():
+    """A service tier with the result cache on and default quotas."""
+    return ServiceTier(cache=True)
+
+
+@pytest.fixture()
+def cached_session(fresh_engine, tier):
+    """Session over a private engine with the full service tier."""
+    with Archive.connect(fresh_engine, service=tier) as session:
+        yield session
+
+
+@pytest.fixture()
+def plain_session(fresh_engine):
+    """Tier-less control session over an identically-built engine."""
+    with Archive.connect(fresh_engine) as session:
+        yield session
+
+
+@pytest.fixture(scope="session")
+def same_rows():
+    """Row-for-row comparison after canonical sort on all columns
+    (cached replays and INTO round trips are verbatim copies, so exact
+    equality — float aggregates get a tight tolerance)."""
+
+    def check(expected, got, ordered=False):
+        n_expected = 0 if expected is None else len(expected)
+        n_got = 0 if got is None else len(got)
+        assert n_expected == n_got
+        if n_expected == 0:
+            return
+        assert expected.data.dtype == got.data.dtype
+        names = expected.schema.field_names()
+        left, right = expected.data, got.data
+        if not ordered:
+            left = np.sort(left, order=names)
+            right = np.sort(right, order=names)
+        for name in names:
+            a, b = left[name], right[name]
+            if np.issubdtype(a.dtype, np.floating):
+                np.testing.assert_allclose(a, b, rtol=1.0e-5, atol=1.0e-6)
+            else:
+                np.testing.assert_array_equal(a, b)
+
+    return check

@@ -243,7 +243,7 @@ class TestSchedulerAccounting:
         assert first.completed_at == 5.0
         assert second.started_at == 5.0
         assert second.completed_at == 8.0
-        # Scan admission stays interactive: overlaps freely.
-        s1 = scheduler.admit(MachineJob("s1", "scan", duration=9.0, arrival_time=1.0))
-        s2 = scheduler.admit(MachineJob("s2", "scan", duration=9.0, arrival_time=1.0))
+        # Sweep admission stays interactive: overlaps freely.
+        s1 = scheduler.admit(MachineJob("s1", "sweep", duration=9.0, arrival_time=1.0))
+        s2 = scheduler.admit(MachineJob("s2", "sweep", duration=9.0, arrival_time=1.0))
         assert s1.started_at == s2.started_at == 1.0
