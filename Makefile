@@ -37,7 +37,9 @@ bench:
 # records the session-API perf artifact (time-to-first-row / completion
 # for a fixed corpus over both backends) so the trajectory is on disk.
 bench-smoke:
-	PYTHONPATH=src python benchmarks/bench_session.py --out BENCH_session.json
+	PYTHONPATH=src python benchmarks/bench_session.py \
+		--out BENCH_session.json --trace-out BENCH_trace_breakdown.json
+	PYTHONPATH=src python benchmarks/check_counters.py BENCH_session.json
 	$(PYTEST) -q -x \
 		"benchmarks/test_bench_cartesian_vs_trig.py::test_bench_cone_dot_vs_haversine" \
 		"benchmarks/test_bench_container_pruning.py::test_bench_pruning_savings" \

@@ -82,6 +82,27 @@ def _query_stats(cursor, table):
     }
 
 
+def _phase_breakdown(cursor):
+    """Trace-derived milliseconds per phase: where did this query's wall
+    time go?  Client phases (parse/plan/queue/execute) by span name,
+    every ``wire:*`` round-trip folded into one ``wire`` bucket; QET
+    node and grafted server spans overlap the execute window and are
+    deliberately excluded from the sum."""
+    totals = {}
+    for span in cursor.trace().spans:
+        duration = span.duration()
+        if duration is None:
+            continue
+        if span.name in ("parse", "plan", "queue", "execute"):
+            key = span.name
+        elif span.name.startswith("wire:"):
+            key = "wire"
+        else:
+            continue
+        totals[key] = totals.get(key, 0.0) + duration
+    return {key: round(value * 1e3, 3) for key, value in totals.items()}
+
+
 def _bench_session(session):
     telemetry = getattr(session.executor, "telemetry", None)
     queries = {}
@@ -94,6 +115,7 @@ def _bench_session(session):
         entry["containers_read"] = io["containers_read"]
         entry["containers_from_pool"] = io["containers_from_pool"]
         entry["containers_skipped"] = io["containers_skipped"]
+        entry["phases"] = _phase_breakdown(cursor)
         if telemetry is not None:
             entry["wire_round_trips"] = telemetry.snapshot() - trips_before
         queries[name] = entry
@@ -328,6 +350,12 @@ def _bench_multi_tenant(photo, tags):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_session.json")
+    parser.add_argument(
+        "--trace-out",
+        default="BENCH_trace_breakdown.json",
+        help="trace-derived phase breakdown artifact (CI uploads it next "
+        "to the main artifact; pass an empty string to skip)",
+    )
     args = parser.parse_args()
 
     photo = SkySimulator(CATALOG).generate()
@@ -374,6 +402,21 @@ def main():
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.trace_out:
+        breakdown = {
+            "benchmark": "session_api_trace_breakdown",
+            "unit": "ms",
+            "backends": {
+                backend: {
+                    name: entry.get("phases", {})
+                    for name, entry in queries.items()
+                }
+                for backend, queries in payload["backends"].items()
+            },
+        }
+        with open(args.trace_out, "w") as fh:
+            json.dump(breakdown, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     print(
         f"wrote {args.out} ({len(CORPUS)} queries x 3 backends + "
         f"{CONCURRENT_JOBS}-way concurrent scenario, "

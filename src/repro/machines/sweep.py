@@ -210,6 +210,11 @@ class SweepScanner:
         #: optional label used in diagnostics and machine names
         self.name = name
         self.stats = SweepStats()
+        from repro.obs.metrics import registry as _obs_registry
+
+        #: weakly-held publication into the process-wide metrics
+        #: registry; a collected scanner drops out of snapshots
+        self._metrics_ref = _obs_registry().add_source(self._published_metrics)
         self._cond = threading.Condition()
         self._throttle = float(throttle)
         self._subs = []
@@ -217,6 +222,21 @@ class SweepScanner:
         self._position = 0
         self._snapshot_len = 0
         self._thread = None
+
+    def _published_metrics(self):
+        """Registry source: this sweep's lifetime counters (summed with
+        every other sweep's at snapshot; the sharing factor is derived
+        there from the summed totals)."""
+        stats = self.stats
+        return {
+            "sweep.containers_swept": stats.containers_swept,
+            "sweep.containers_read": stats.containers_read,
+            "sweep.containers_from_pool": stats.containers_from_pool,
+            "sweep.containers_skipped": stats.containers_skipped,
+            "sweep.deliveries": stats.deliveries,
+            "sweep.bytes_swept": stats.bytes_swept,
+            "sweep.laps": stats.laps,
+        }
 
     @property
     def throttle(self):

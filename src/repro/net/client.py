@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
+from repro.obs.trace import Span
 from repro.net.protocol import (
     SUPPORTED_COMPRESSION,
     ConnectionClosed,
@@ -41,6 +43,7 @@ from repro.net.protocol import (
     send_frame,
     table_from_wire,
 )
+from repro.query.errors import ExecutionError
 from repro.query.qet import QETNode, Stream
 from repro.session.executor import Executor, PreparedQuery
 
@@ -247,6 +250,17 @@ class RemoteRootNode(QETNode):
         #: query class forwarded to the server-side session (bound by
         #: the owning Job just before the tree starts)
         self.query_class = "interactive"
+        #: client trace id forwarded on the submit frame so the server
+        #: records its spans under the same trace (bound by the Job)
+        self.trace_id = None
+        #: client-side wire round-trip spans (submit / stream / stats),
+        #: consumed by the job's trace assembly
+        self.wire_spans = []
+        #: offset-encoded server-side spans from the ``job_stats`` reply
+        #: (grafted under this node's span at trace assembly)
+        self.remote_spans = None
+        #: server-executed analyzed plan tree (EXPLAIN ANALYZE passthrough)
+        self.remote_analyzed_plan = None
         #: codec the server actually agreed to (set at submit time)
         self.negotiated_compression = None
         #: server-side job id once accepted
@@ -266,9 +280,18 @@ class RemoteRootNode(QETNode):
 
     def bind_job(self, job):
         """Called by the owning Job just before the tree starts: carry
-        the query class to the server so batch jobs from many remote
-        clients serialize through the *server's* one batch machine."""
-        self.query_class = job.query_class
+        job context to the server.
+
+        A full-mode root adopts the job's query class so batch jobs from
+        many remote clients serialize through the *server's* one batch
+        machine; shard leaves under a scatter-gather merge tree stay
+        interactive server-side (the client's own batch queue already
+        serialized the job).  Every mode forwards the trace id so the
+        server's spans land in the client's trace.
+        """
+        if self.mode == "full":
+            self.query_class = job.query_class
+        self.trace_id = job.trace_id
 
     # -- cancellation ---------------------------------------------------
 
@@ -368,17 +391,24 @@ class RemoteRootNode(QETNode):
             "mode": self.mode,
             "select_index": self.select_index,
         }
+        if self.trace_id is not None:
+            submit["trace_id"] = self.trace_id
         if self.compression in SUPPORTED_COMPRESSION:
             # only advertise codecs this build can also decode — a codec
             # a newer server speaks but we cannot must degrade to raw at
             # submit time, not fail mid-stream on the first large batch
             submit["accept_compression"] = [self.compression]
+        submit_span = Span("wire:submit", started_at=time.perf_counter())
+        self.wire_spans.append(submit_span)
         accepted, _ = _request(sock, submit, telemetry=self.telemetry)
+        submit_span.ended_at = time.perf_counter()
         #: what the server actually chose (None when it spoke no
         #: requested codec — older servers simply ignore the field)
         self.negotiated_compression = accepted.get("compression")
         with self._sock_lock:
             self.remote_job_id = accepted.get("job_id")
+        stream_span = Span("wire:stream", started_at=time.perf_counter())
+        self.wire_spans.append(stream_span)
         done = False
         while not done:
             if self.output.cancelled():
@@ -393,20 +423,39 @@ class RemoteRootNode(QETNode):
                 },
                 telemetry=self.telemetry,
             )
+            stream_span.attrs["round_trips"] = (
+                stream_span.attrs.get("round_trips", 0) + 1
+            )
             done = bool(response.get("done"))
+            state = response.get("state")
+            if done and state is not None and state != "done":
+                # The server exhausted the stream but its job did not end
+                # DONE — a server-side cancel (e.g. shutdown) between two
+                # fetch rounds.  A clean "done" here would silently pass
+                # off a truncated prefix as the full result.
+                raise ExecutionError(
+                    f"server-side job {self.remote_job_id!r} ended "
+                    f"{state} mid-stream"
+                )
             for _index in range(int(response.get("count", 0))):
                 batch_header, body = recv_frame(sock)
                 if batch_header.get("op") == "error":
                     raise_from_wire(batch_header)
                 batch = table_from_wire(batch_header, body)
+                stream_span.attrs["batches"] = (
+                    stream_span.attrs.get("batches", 0) + 1
+                )
                 if len(batch) and not self._emit(batch):
                     self._send_side_cancel()
                     return
+        stream_span.ended_at = time.perf_counter()
         self._collect_stats(sock)
 
     def _collect_stats(self, sock):
-        """After a clean drain: pull NodeStats and the I/O report so the
-        client job's telemetry is real, not empty."""
+        """After a clean drain: pull NodeStats, server spans, the
+        analyzed plan, and the I/O report so the client job's telemetry
+        is real, not empty."""
+        stats_span = Span("wire:stats", started_at=time.perf_counter())
         try:
             stats, _ = _request(
                 sock,
@@ -420,6 +469,10 @@ class RemoteRootNode(QETNode):
             )
         except (OSError, ProtocolError, RemoteArchiveError):
             return  # telemetry is best-effort; the rows already arrived
+        stats_span.ended_at = time.perf_counter()
+        self.wire_spans.append(stats_span)
+        self.remote_spans = stats.get("spans")
+        self.remote_analyzed_plan = plan_from_wire(stats.get("analyzed_plan"))
         nodes = stats.get("nodes", [])
         self.remote_node_stats = nodes
         for node in nodes:
@@ -533,6 +586,22 @@ class RemoteExecutor(Executor):
                 request["user"] = self.user
                 request["token"] = self.token
             header, _ = _request(sock, request, telemetry=self.telemetry)
+        finally:
+            sock.close()
+        return header
+
+    def stats(self):
+        """The server's ``stats`` snapshot: metrics registry contents
+        (cache hit rate, pool/sweep counters, admission queue depth)
+        plus server vitals (uptime, per-user job counts)."""
+        sock = open_connection(
+            self.endpoint, self.connect_timeout, timeout=self.CONTROL_TIMEOUT
+        )
+        try:
+            authenticate_connection(
+                sock, self.user, self.token, telemetry=self.telemetry
+            )
+            header, _ = _request(sock, {"op": "stats"}, telemetry=self.telemetry)
         finally:
             sock.close()
         return header

@@ -233,5 +233,30 @@ class RemotePartitionedExecutor(Executor):
         root.fanout_report = report
         return root, output_schema_for(plan, self.schemas)
 
+    def stats(self):
+        """Per-endpoint server stats: one ``stats`` snapshot per shard,
+        in shard-id order, each tagged with its endpoint.
+
+        The client-side aggregation (summing cache counters, comparing
+        per-server job counts) is left to the caller — shard servers are
+        separate processes with separate metric registries, so there is
+        no meaningful single merged registry to fabricate here.
+        """
+        snapshots = []
+        for shard in self.shards:
+            host, port = shard.endpoint
+            remote = RemoteExecutor(
+                host,
+                port,
+                connect_timeout=self.connect_timeout,
+                timeout=self.timeout,
+            )
+            remote.telemetry = self.telemetry
+            snapshot = remote.stats()
+            snapshot["endpoint"] = f"{host}:{port}"
+            snapshot["shard_id"] = shard.shard_id
+            snapshots.append(snapshot)
+        return snapshots
+
     def __repr__(self):
         return f"RemotePartitionedExecutor({len(self.shards)} shards)"

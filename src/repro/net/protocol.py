@@ -39,7 +39,10 @@ Operations
     through the server's :class:`~repro.machines.scheduler.MachineScheduler`)
     and return its job id.  ``mode="shard"`` runs only the pushed-down
     shard half of the plan's ``select_index``-th SELECT — the op the
-    remote scatter-gather executor fans out.
+    remote scatter-gather executor fans out.  An optional ``trace_id``
+    rides the frame so the server-side job records its spans under the
+    *client's* trace — ``job_stats`` ships them back and the client
+    grafts them into one merged span tree per query.
 ``fetch_batch``
     Pull the next run of result batches for a job (client-driven
     streaming: the response is a ``batches`` frame followed by one
@@ -53,8 +56,18 @@ Operations
     job id is refused with a structured authentication error.
 ``job_stats``
     Per-QET-node execution counters of a job, serialized
-    :class:`~repro.query.qet.NodeStats` — so remote jobs aggregate real
-    telemetry instead of returning empty stats client-side.
+    :class:`~repro.query.qet.NodeStats` (including the node timestamps,
+    ``None`` for events that never happened) — so remote jobs aggregate
+    real telemetry instead of returning empty stats client-side.  The
+    reply also carries the job's offset-encoded server-side ``spans``
+    (see :meth:`repro.obs.trace.Trace.to_wire`) and, once the job is
+    terminal, its ``analyzed_plan`` — the server-executed plan tree
+    annotated with measured rows/time/I-O for EXPLAIN ANALYZE.
+``stats``
+    Snapshot of the server's process-wide metrics registry plus server
+    vitals: uptime, live/retired job counts, per-user job counts,
+    admission queue depth, and (on cache-enabled servers) the cache
+    counters with their derived hit rate.
 ``io_report``
     The job's shared-scan I/O report plus the raw sweep/pool counters
     the client folds into :meth:`~repro.session.core.Job.io_report` —
@@ -363,12 +376,20 @@ def report_from_wire(wire):
 
 
 def node_stats_to_wire(node_stats):
-    """``{node: NodeStats}`` -> list of JSON-safe per-node counter dicts."""
+    """``{node: NodeStats}`` -> list of JSON-safe per-node counter dicts.
+
+    Timestamps are perf-counter floats local to the serializing process
+    (meaningful only as deltas to the receiver) and stay ``None`` for
+    events that never happened — a never-started node ships as such.
+    """
     return [
         {
             "kind": getattr(node, "name", type(node).__name__),
             "rows_out": stats.rows_out,
             "batches_out": stats.batches_out,
+            "started_at": stats.started_at,
+            "first_output_at": stats.first_output_at,
+            "finished_at": stats.finished_at,
             "containers_read": stats.containers_read,
             "containers_from_pool": stats.containers_from_pool,
             "containers_skipped": stats.containers_skipped,

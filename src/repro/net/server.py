@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from collections import deque
 
 from repro.distributed.engine import build_shard_tree
@@ -46,6 +47,7 @@ from repro.net.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_COMPRESSION,
     ConnectionClosed,
+    jsonable,
     ProtocolError,
     error_to_wire,
     negotiate_compression,
@@ -57,6 +59,8 @@ from repro.net.protocol import (
     send_frame,
     table_to_wire,
 )
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.trace import assemble_job_trace
 from repro.query.ast_nodes import Select, SetOp
 from repro.query.errors import ExecutionError, PlanError, QueryError
 from repro.query.optimizer import (
@@ -75,7 +79,7 @@ from repro.session.executor import (
     LocalExecutor,
     PreparedQuery,
 )
-from repro.session.plan import plan_tree
+from repro.session.plan import analyzed_plan_tree, plan_tree
 
 __all__ = ["ArchiveServer", "ShardExecutor"]
 
@@ -331,6 +335,8 @@ class ArchiveServer:
         self._job_counter = 0
         self._lock = threading.Lock()
         self._closing = threading.Event()
+        #: monotonic base of the ``stats`` op's uptime; set by start()
+        self._started_at = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -349,6 +355,7 @@ class ArchiveServer:
         listener = socket.create_server((self.host, self.port))
         self.port = listener.getsockname()[1]
         self._listener = listener
+        self._started_at = time.monotonic()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True, name=f"archive-server-{self.port}"
         )
@@ -425,6 +432,37 @@ class ArchiveServer:
             return [job for job, _id in self._retired] + [
                 served.job for served in self._jobs.values()
             ]
+
+    def _stats(self):
+        """The ``stats`` op reply: the process-wide metrics registry
+        snapshot (cache hit rate, pool/sweep counters, admission queue
+        depth, per-session job counts) plus this server's own vitals."""
+        with self._lock:
+            jobs = [job for job, _id in self._retired] + [
+                served.job for served in self._jobs.values()
+            ]
+            jobs_live = len(self._jobs)
+            jobs_retired = len(self._retired)
+        by_user = {}
+        for job in jobs:
+            by_user[job.user] = by_user.get(job.user, 0) + 1
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "op": "stats",
+            "uptime_seconds": uptime,
+            "metrics": jsonable(obs_registry().snapshot()),
+            "server": {
+                "jobs_live": jobs_live,
+                "jobs_retired": jobs_retired,
+                "jobs_by_user": by_user,
+                "cache_enabled": self.service.cache is not None,
+                "auth_required": self.service.auth is not None,
+            },
+        }
 
     # -- accept / dispatch ----------------------------------------------
 
@@ -525,16 +563,26 @@ class ArchiveServer:
             self._handle_mydb(sock, header, conn)
         elif op == "job_stats":
             served = self._served(header, conn)
-            send_frame(
-                sock,
-                {
-                    "op": "job_stats",
-                    "job_id": served.job_id,
-                    "state": served.job.state.value,
-                    "rows": served.job.rows,
-                    "nodes": node_stats_to_wire(served.job.node_stats()),
-                },
-            )
+            reply = {
+                "op": "job_stats",
+                "job_id": served.job_id,
+                "state": served.job.state.value,
+                "rows": served.job.rows,
+                "nodes": node_stats_to_wire(served.job.node_stats()),
+                # Offset-encoded server-side span tree: the client grafts
+                # these under its wire:submit span, so one merged trace
+                # covers both sides of the network hop.
+                "spans": assemble_job_trace(served.job).to_wire()["spans"],
+            }
+            if served.job.state.is_terminal():
+                prepared = getattr(served.job, "_prepared", None)
+                if prepared is not None:
+                    reply["analyzed_plan"] = plan_to_wire(
+                        analyzed_plan_tree(prepared.root)
+                    )
+            send_frame(sock, reply)
+        elif op == "stats":
+            send_frame(sock, self._stats())
         elif op == "io_report":
             served = self._served(header, conn)
             counters = served.job.io_counters()
@@ -674,6 +722,14 @@ class ArchiveServer:
             },
             user=conn.effective_user,
         )
+        client_trace = header.get("trace_id")
+        if client_trace is not None and job._trace is not None:
+            # Correlation, not adoption: the server job keeps its own
+            # trace id (its spans are reminted when grafted client-side)
+            # but its query log entry can be joined to the client trace.
+            span = job._trace.first("query")
+            if span is not None:
+                span.attrs["client_trace_id"] = str(client_trace)
         compression = negotiate_compression(header.get("accept_compression"))
         with self._lock:
             self._job_counter += 1
@@ -745,6 +801,18 @@ class ArchiveServer:
             # The job failed (or was cancelled) mid-drain: the rows of
             # this round are moot — the client gets the structured error
             # and re-raises the original class.
+            send_frame(sock, error_to_wire(exc))
+            return
+        if done and served.job.state.value != "done":
+            # The iterator exhausted *cleanly* but the job did not end
+            # DONE: a server-side cancel (shutdown, admission kill)
+            # landed between fetch rounds and truncated the stream.
+            # Reporting plain done=True here would let the client record
+            # the prefix as a complete result.
+            exc = served.job.error or ExecutionError(
+                f"job {served.job_id!r} ended "
+                f"{served.job.state.value} server-side mid-stream"
+            )
             send_frame(sock, error_to_wire(exc))
             return
         send_frame(

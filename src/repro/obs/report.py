@@ -1,0 +1,118 @@
+"""Per-job metric snapshots, and the legacy ``io_report`` built on them.
+
+:func:`job_snapshot` flattens one job's telemetry into registry-style
+metric names (``job.containers_read``, ``sweep.deliveries``,
+``buffer_pool.hits`` ...) and runs them through a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot, so the derived
+ratios (``sweep.sharing_factor``, ``buffer_pool.hit_rate``,
+``cache.hit_rate``) come from exactly the same code path as the
+process-wide registry.  :func:`legacy_io_report` then reconstructs the
+historical ``Job.io_report()`` dict *from that snapshot* — one source of
+truth, two presentations — which is what keeps the legacy surface and
+the new one pinned to identical numbers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["job_snapshot", "legacy_io_report"]
+
+
+class _JobSource:
+    """Holds one job's raw metrics so a registry can snapshot them.
+
+    The registry holds sources via ``WeakMethod``; an instance of this
+    class stays alive for the duration of the snapshot call only.
+    """
+
+    def __init__(self, metrics):
+        self._metrics = metrics
+
+    def metrics(self):
+        return self._metrics
+
+
+def _raw_metrics(job):
+    """Flat ``{metric_name: value}`` of one job's telemetry.
+
+    Rates are *not* included — the registry derives them from the raw
+    counters, so a rate is never shipped separately from its inputs.
+    """
+    counters = job.io_counters()
+    out = {
+        "job.rows": job.rows,
+        "job.cache_hit": bool(job.cache_hit),
+        "job.containers_read": counters["containers_read"],
+        "job.containers_from_pool": counters["containers_from_pool"],
+        "job.containers_skipped": counters["containers_skipped"],
+    }
+    if counters["has_sweep"]:
+        swept, delivered = counters["sweep"]
+        out["sweep.containers_swept"] = int(swept)
+        out["sweep.deliveries"] = int(delivered)
+    if counters["has_pool"]:
+        accesses, hits = counters["pool"]
+        out["buffer_pool.hits"] = int(hits)
+        out["buffer_pool.misses"] = int(accesses) - int(hits)
+    if counters["workers_configured"]:
+        items = counters["worker_items"]
+        out["workers.configured"] = counters["workers_configured"]
+        out["workers.active"] = sum(1 for count in items if count > 0)
+        out["workers.work_items"] = sum(items)
+    cache = counters["cache"]
+    if cache is None:
+        # A local service-tier job: the cache lives in this process.
+        service = getattr(getattr(job, "_session", None), "service", None)
+        if service is not None and service.cache is not None:
+            cache = {"hit": job.cache_hit, **service.cache.stats.as_dict()}
+    if cache is not None:
+        for key, value in cache.items():
+            if key == "hit_rate":
+                continue  # derived from the summed hits/misses instead
+            out[f"cache.{key}"] = value
+    return out
+
+
+def job_snapshot(job):
+    """Registry-style metric snapshot of one job.
+
+    Same naming scheme as :meth:`MetricsRegistry.snapshot`, same derived
+    ratios, scoped to a single job's counters.
+    """
+    source = _JobSource(_raw_metrics(job))
+    scoped = MetricsRegistry()
+    scoped.add_source(source.metrics)
+    return scoped.snapshot()
+
+
+def legacy_io_report(job):
+    """The historical ``Job.io_report()`` dict, rebuilt from
+    :func:`job_snapshot` so both surfaces report identical numbers."""
+    snap = job_snapshot(job)
+    report = {
+        "containers_read": snap.get("job.containers_read", 0),
+        "containers_from_pool": snap.get("job.containers_from_pool", 0),
+        "containers_skipped": snap.get("job.containers_skipped", 0),
+        "sweep_sharing_factor": snap.get("sweep.sharing_factor"),
+        "buffer_pool_hit_rate": snap.get("buffer_pool.hit_rate"),
+        "workers": None,
+        "cache": None,
+    }
+    if "workers.configured" in snap:
+        configured = snap["workers.configured"]
+        active = snap.get("workers.active", 0)
+        report["workers"] = {
+            "configured": configured,
+            "active": active,
+            "work_items": snap.get("workers.work_items", 0),
+            "utilization": active / configured if configured else 0.0,
+        }
+    cache = {
+        key[len("cache."):]: value
+        for key, value in snap.items()
+        if key.startswith("cache.")
+    }
+    if cache:
+        report["cache"] = cache
+    return report

@@ -163,7 +163,11 @@ class NodeStats:
 
     rows_out: int = 0
     batches_out: int = 0
-    started_at: float = 0.0
+    #: ``perf_counter`` timestamps; ``None`` until the event happens, so
+    #: a never-started node is distinguishable from one started at an
+    #: arbitrary clock zero (the span layer and plan renderers rely on
+    #: this to show unset timings as None instead of nonsense deltas)
+    started_at: Optional[float] = None
     first_output_at: Optional[float] = None
     finished_at: Optional[float] = None
     containers_read: int = 0

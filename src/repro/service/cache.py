@@ -91,8 +91,27 @@ class ResultCache:
     def __init__(self, max_bytes=DEFAULT_CACHE_BYTES):
         self.max_bytes = int(max_bytes)
         self.stats = CacheStats()
+        from repro.obs.metrics import registry as _obs_registry
+
+        #: weakly-held publication into the process-wide metrics
+        #: registry; a collected cache drops out of snapshots
+        self._metrics_ref = _obs_registry().add_source(self._published_metrics)
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+
+    def _published_metrics(self):
+        """Registry source: this cache's lifetime counters (summed with
+        every other cache's at snapshot; ``cache.hit_rate`` is derived
+        there from the summed hits/misses)."""
+        stats = self.stats
+        return {
+            "cache.hits": stats.hits,
+            "cache.misses": stats.misses,
+            "cache.fills": stats.fills,
+            "cache.invalidations": stats.invalidations,
+            "cache.evictions": stats.evictions,
+            "cache.bytes_served": stats.bytes_served,
+        }
 
     # -- keying ---------------------------------------------------------
 

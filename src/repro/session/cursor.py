@@ -95,6 +95,15 @@ class Cursor:
         """Shared-scan I/O telemetry (see :meth:`Job.io_report`)."""
         return self._job.io_report()
 
+    @property
+    def trace_id(self):
+        """Trace id of the owning job."""
+        return self._job.trace_id
+
+    def trace(self):
+        """The owning job's merged span tree (see :meth:`Job.trace`)."""
+        return self._job.trace()
+
     # ------------------------------------------------------------------
     # consumption
     # ------------------------------------------------------------------

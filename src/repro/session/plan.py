@@ -27,7 +27,7 @@ from repro.query.qet import (
     TopKNode,
 )
 
-__all__ = ["PlanTree", "plan_tree"]
+__all__ = ["PlanTree", "plan_tree", "analyzed_plan_tree"]
 
 
 @dataclass
@@ -175,3 +175,70 @@ def plan_tree(root):
         detail=detail,
         children=[plan_tree(child) for child in root.children],
     )
+
+
+def _measured_detail(stats):
+    """EXPLAIN ANALYZE annotations from one node's :class:`NodeStats`.
+
+    Unset timestamps surface as ``None`` (a node that never started has
+    no elapsed time — not a zero-based nonsense delta).
+    """
+    detail = {"rows": stats.rows_out, "batches": stats.batches_out}
+    if stats.started_at is None or stats.finished_at is None:
+        detail["time_ms"] = None
+    else:
+        detail["time_ms"] = round((stats.finished_at - stats.started_at) * 1e3, 3)
+    if stats.first_output_at is not None and stats.started_at is not None:
+        detail["first_row_ms"] = round(
+            (stats.first_output_at - stats.started_at) * 1e3, 3
+        )
+    for name in (
+        "containers_read",
+        "containers_from_pool",
+        "containers_skipped",
+        "predicate_evals",
+        "peak_buffered_rows",
+        "workers",
+    ):
+        value = getattr(stats, name, 0)
+        if value:
+            detail[name] = value
+    return detail
+
+
+def analyzed_plan_tree(root):
+    """Map an *executed* QET to its measured :class:`PlanTree`.
+
+    The static :func:`plan_tree` details are kept and the per-node
+    measurements appended (rows/batches out, wall ``time_ms``,
+    ``first_row_ms``, container and predicate counters) — the EXPLAIN
+    ANALYZE shape.  A remote leaf that received its server-executed
+    subtree over the wire (``remote_analyzed_plan`` in the ``job_stats``
+    reply) carries it as a child, so the analyzed tree covers the
+    server-side scans too.
+    """
+    detail = dict(_detail_for(root))
+    endpoint = getattr(root, "endpoint", None)
+    if endpoint is not None:
+        host, port = endpoint
+        detail["endpoint"] = f"archive://{host}:{port}"
+    server_id = getattr(root, "server_id", None)
+    if server_id is not None:
+        detail["server"] = server_id
+    report = getattr(root, "fanout_report", None)
+    if report is not None:
+        detail["servers"] = list(report.touched_server_ids)
+        if report.pruned_server_ids:
+            detail["pruned"] = list(report.pruned_server_ids)
+    detail.update(_measured_detail(root.stats))
+    children = [analyzed_plan_tree(child) for child in root.children]
+    remote_analyzed = getattr(root, "remote_analyzed_plan", None)
+    if remote_analyzed is not None:
+        children.append(
+            PlanTree(
+                kind=remote_analyzed.kind,
+                detail=dict(remote_analyzed.detail),
+                children=list(remote_analyzed.children),
+            )
+        )
+    return PlanTree(kind=root.name, detail=detail, children=children)

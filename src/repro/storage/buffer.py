@@ -81,6 +81,11 @@ class BufferPool:
             raise ValueError("byte_budget must be non-negative or None")
         self.byte_budget = byte_budget
         self.stats = BufferPoolStats()
+        from repro.obs.metrics import registry as _obs_registry
+
+        #: weakly-held publication into the process-wide metrics
+        #: registry; a collected pool drops out of snapshots
+        self._metrics_ref = _obs_registry().add_source(self._published_metrics)
         self._lock = threading.Lock()
         #: key -> (table, nbytes), in LRU order (oldest first)
         self._entries = OrderedDict()
@@ -153,6 +158,20 @@ class BufferPool:
             if overshoot > self.stats.peak_overshoot_bytes:
                 self.stats.peak_overshoot_bytes = overshoot
         return table, False
+
+    def _published_metrics(self):
+        """Registry source: this pool's counters (summed with every
+        other pool's at snapshot; ``buffer_pool.hit_rate`` is derived
+        there from the summed hits/misses)."""
+        stats = self.stats
+        return {
+            "buffer_pool.hits": stats.hits,
+            "buffer_pool.misses": stats.misses,
+            "buffer_pool.evictions": stats.evictions,
+            "buffer_pool.invalidations": stats.invalidations,
+            "buffer_pool.bytes_read": stats.bytes_read,
+            "buffer_pool.bytes_from_pool": stats.bytes_from_pool,
+        }
 
     def contains(self, store, htm_id):
         """True if the container is currently resident (no LRU touch)."""

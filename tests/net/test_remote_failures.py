@@ -60,7 +60,12 @@ class TestServerDeath:
                     pass
             assert job.state.value == "failed"
             assert job.error is not None
-            assert "died mid-stream" in str(job.error)
+            # Either observable form of the crash is correct: the broken
+            # socket ("died mid-stream"), or — when a fetch round lands
+            # in stop()'s cancel-before-shutdown window — the structured
+            # ended-cancelled-mid-stream error.  What must never happen
+            # is a clean DONE over the truncated prefix.
+            assert "mid-stream" in str(job.error)
             job.join(JOIN_TIMEOUT)
             assert job.alive_nodes() == []
         finally:

@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry primitives and merge rules."""
+
+import gc
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, registry
+
+
+class TestPrimitives:
+    def test_counter_goes_up(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_refuses_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_reads_callable_at_snapshot(self):
+        box = {"v": 1}
+        g = Gauge("depth", fn=lambda: box["v"])
+        assert g.value == 1
+        box["v"] = 7
+        assert g.value == 7
+
+    def test_gauge_callable_error_degrades_to_set_value(self):
+        g = Gauge("depth", fn=lambda: 1 / 0)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_summary(self):
+        h = Histogram("latency")
+        assert h.summary() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "mean": None,
+        }
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 2.0
+        assert s["max"] == 6.0
+        assert s["mean"] == pytest.approx(4.0)
+
+
+class TestRegistry:
+    def test_create_on_first_use_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_includes_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(2)
+        reg.gauge("depth").set(5)
+        reg.histogram("ms").observe(10.0)
+        snap = reg.snapshot()
+        assert snap["jobs"] == 2
+        assert snap["depth"] == 5
+        assert snap["ms"]["count"] == 1
+
+    def test_sources_sum_same_named_numerics(self):
+        class Pool:
+            def __init__(self, hits, misses):
+                self.hits, self.misses = hits, misses
+
+            def published(self):
+                return {
+                    "buffer_pool.hits": self.hits,
+                    "buffer_pool.misses": self.misses,
+                }
+
+        reg = MetricsRegistry()
+        pools = [Pool(3, 1), Pool(1, 3)]
+        for pool in pools:
+            reg.add_source(pool.published)
+        snap = reg.snapshot()
+        assert snap["buffer_pool.hits"] == 4
+        assert snap["buffer_pool.misses"] == 4
+        # derived rate computed from the SUMMED counters, not averaged
+        assert snap["buffer_pool.hit_rate"] == pytest.approx(0.5)
+
+    def test_dict_values_merge_keywise(self):
+        class Sess:
+            def __init__(self, by_user):
+                self.by_user = by_user
+
+            def published(self):
+                return {"session.jobs_by_user": self.by_user}
+
+        reg = MetricsRegistry()
+        sessions = [Sess({"ann": 1, "bob": 2}), Sess({"bob": 3})]
+        for sess in sessions:
+            reg.add_source(sess.published)
+        snap = reg.snapshot()
+        assert snap["session.jobs_by_user"] == {"ann": 1, "bob": 5}
+
+    def test_dead_source_drops_out(self):
+        class Pool:
+            def published(self):
+                return {"buffer_pool.hits": 10}
+
+        reg = MetricsRegistry()
+        pool = Pool()
+        reg.add_source(pool.published)
+        assert reg.snapshot()["buffer_pool.hits"] == 10
+        del pool
+        gc.collect()
+        assert "buffer_pool.hits" not in reg.snapshot()
+
+    def test_remove_source_is_idempotent(self):
+        class Pool:
+            def published(self):
+                return {"x": 1}
+
+        reg = MetricsRegistry()
+        pool = Pool()
+        ref = reg.add_source(pool.published)
+        reg.remove_source(ref)
+        reg.remove_source(ref)
+        assert "x" not in reg.snapshot()
+
+    def test_raising_source_is_skipped_not_fatal(self):
+        class Bad:
+            def published(self):
+                raise RuntimeError("boom")
+
+        class Good:
+            def published(self):
+                return {"ok": 1}
+
+        reg = MetricsRegistry()
+        keep = [Bad(), Good()]
+        for obj in keep:
+            reg.add_source(obj.published)
+        assert reg.snapshot()["ok"] == 1
+
+    def test_sharing_factor_is_one_when_nothing_swept(self):
+        class Sweep:
+            def published(self):
+                return {"sweep.containers_swept": 0, "sweep.deliveries": 0}
+
+        reg = MetricsRegistry()
+        sweep = Sweep()
+        reg.add_source(sweep.published)
+        assert reg.snapshot()["sweep.sharing_factor"] == 1.0
+
+    def test_global_registry_is_a_singleton(self):
+        assert registry() is registry()

@@ -1,0 +1,114 @@
+"""Unit tests for span recording, wire encoding, and grafting."""
+
+import pytest
+
+from repro.obs import Span, Trace, mint_trace_id
+
+
+class TestSpan:
+    def test_duration_none_until_both_timestamps(self):
+        span = Span("parse")
+        assert span.duration() is None
+        span.started_at = 1.0
+        assert span.duration() is None
+        span.ended_at = 1.5
+        assert span.duration() == pytest.approx(0.5)
+
+    def test_unstarted_span_keeps_none_not_zero(self):
+        # the normalized form of the old started_at == 0.0 ambiguity
+        assert Span("never").started_at is None
+
+
+class TestTrace:
+    def test_ids_are_distinct(self):
+        assert mint_trace_id() != mint_trace_id()
+
+    def test_parentage_and_queries(self):
+        trace = Trace()
+        root = trace.new_span("query")
+        child = trace.new_span("parse", parent=root)
+        assert trace.first("parse") is child
+        assert trace.roots() == [root]
+        assert trace.children_of(root) == [child]
+
+    def test_span_context_manager_times_the_body(self):
+        trace = Trace()
+        with trace.span("plan") as span:
+            pass
+        assert span.ended_at >= span.started_at
+
+    def test_copy_is_deep_enough(self):
+        trace = Trace()
+        span = trace.new_span("query", attrs={"user": "ann"})
+        clone = trace.copy()
+        clone.spans[0].attrs["user"] = "bob"
+        clone.spans[0].ended_at = 99.0
+        assert span.attrs["user"] == "ann"
+        assert span.ended_at is None
+        assert clone.trace_id == trace.trace_id
+
+    def test_render_mentions_every_span(self):
+        trace = Trace()
+        root = trace.new_span("query", started_at=0.0, ended_at=0.25)
+        trace.new_span("parse", parent=root, started_at=0.0, ended_at=0.01)
+        text = trace.render()
+        assert "query" in text and "parse" in text
+        assert "250.000ms" in text
+
+
+class TestWire:
+    def test_to_wire_offsets_are_relative_to_earliest_span(self):
+        trace = Trace()
+        root = trace.new_span("query", started_at=100.0, ended_at=100.5)
+        trace.new_span("parse", parent=root, started_at=100.1, ended_at=100.2)
+        wire = trace.to_wire()
+        offsets = {s["name"]: s["start_offset"] for s in wire["spans"]}
+        assert offsets["query"] == pytest.approx(0.0)
+        assert offsets["parse"] == pytest.approx(0.1)
+        durations = {s["name"]: s["duration"] for s in wire["spans"]}
+        assert durations["query"] == pytest.approx(0.5)
+
+    def test_unstarted_span_crosses_the_wire_as_none(self):
+        trace = Trace()
+        trace.new_span("never")
+        wire = trace.to_wire()
+        assert wire["spans"][0]["start_offset"] is None
+        assert wire["spans"][0]["duration"] is None
+
+    def test_graft_rebases_onto_anchor_and_remints_ids(self):
+        server = Trace()
+        sroot = server.new_span("query", started_at=500.0, ended_at=500.4)
+        server.new_span("execute", parent=sroot, started_at=500.1, ended_at=500.3)
+        wire = server.to_wire()["spans"]
+
+        client = Trace()
+        leaf = client.new_span("node:remote", started_at=7.0, ended_at=7.6)
+        grafted = client.graft_wire(wire, leaf, anchor=7.05)
+
+        by_name = {s.name: s for s in grafted}
+        assert by_name["query"].started_at == pytest.approx(7.05)
+        assert by_name["execute"].started_at == pytest.approx(7.15)
+        # fresh ids: two shard servers can never collide
+        assert {s.span_id for s in grafted}.isdisjoint(
+            {w["span_id"] for w in wire}
+        )
+        # internal parent link preserved, server root adopted by the leaf
+        assert by_name["execute"].parent_id == by_name["query"].span_id
+        assert by_name["query"].parent_id == leaf.span_id
+
+    def test_grafted_tree_has_no_orphans(self):
+        server = Trace()
+        sroot = server.new_span("query", started_at=1.0, ended_at=2.0)
+        server.new_span("plan", parent=sroot, started_at=1.0, ended_at=1.1)
+        client = Trace()
+        root = client.new_span("query", started_at=0.0, ended_at=3.0)
+        leaf = client.new_span("node:remote", parent=root,
+                               started_at=0.5, ended_at=2.5)
+        client.graft_wire(server.to_wire()["spans"], leaf, anchor=0.6)
+        ids = {s.span_id for s in client.spans}
+        orphans = [
+            s for s in client.spans
+            if s.parent_id is not None and s.parent_id not in ids
+        ]
+        assert orphans == []
+        assert client.roots() == [root]

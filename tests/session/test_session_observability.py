@@ -1,0 +1,180 @@
+"""Session-level observability: traces, EXPLAIN ANALYZE, metric surfaces.
+
+The unified observability layer threads a trace id through every
+submission, derives per-node spans from NodeStats timestamps, and
+rebuilds the legacy ``io_report`` dict from the registry-style job
+snapshot — these tests pin that the surfaces agree with each other and
+with the job's own timings.
+"""
+
+import pytest
+
+from repro.obs import job_snapshot
+from repro.session import Archive
+from repro.session.core import _merge_cache_counters
+
+
+QUERY = "SELECT objid, mag_r FROM photo WHERE mag_r < 15"
+
+
+def span_names(trace):
+    return [span.name for span in trace.spans]
+
+
+class TestJobTrace:
+    def test_trace_covers_every_phase(self, local_session):
+        job = local_session.submit(QUERY)
+        job.cursor.fetchall()
+        job.join()
+        trace = job.trace()
+        names = span_names(trace)
+        for phase in ("query", "parse", "plan", "execute"):
+            assert phase in names
+        assert any(name.startswith("node:") for name in names)
+
+    def test_trace_tree_is_rooted_and_orphan_free(self, local_session):
+        job = local_session.submit(QUERY)
+        job.cursor.fetchall()
+        job.join()
+        trace = job.trace()
+        roots = trace.roots()
+        assert [span.name for span in roots] == ["query"]
+        ids = {span.span_id for span in trace.spans}
+        assert all(
+            span.parent_id in ids
+            for span in trace.spans
+            if span.parent_id is not None
+        )
+
+    def test_execute_span_matches_time_to_completion(self, local_session):
+        job = local_session.submit(QUERY)
+        job.cursor.fetchall()
+        job.join()
+        execute = job.trace().first("execute")
+        assert execute.duration() == pytest.approx(
+            job.time_to_completion, rel=0.10
+        )
+
+    def test_batch_job_records_queue_wait(self, local_session):
+        job = local_session.submit(QUERY, query_class="batch")
+        job.cursor.fetchall()
+        job.join()
+        queue = job.trace().first("queue")
+        assert queue is not None
+        assert queue.duration() is not None and queue.duration() >= 0.0
+
+    def test_cursor_delegates_trace(self, local_session):
+        cursor = local_session.execute(QUERY)
+        cursor.fetchall()
+        assert cursor.trace_id == cursor._job.trace_id
+        assert cursor.trace().trace_id == cursor.trace_id
+
+    def test_distinct_jobs_get_distinct_trace_ids(self, local_session):
+        first = local_session.submit(QUERY)
+        second = local_session.submit(QUERY)
+        for job in (first, second):
+            job.cursor.fetchall()
+            job.join()
+        assert first.trace_id != second.trace_id
+
+    def test_node_spans_carry_io_attrs(self, local_session):
+        job = local_session.submit(QUERY)
+        job.cursor.fetchall()
+        job.join()
+        trace = job.trace()
+        scans = [s for s in trace.spans if s.name == "node:scan"]
+        assert scans
+        total_read = sum(s.attrs.get("containers_read", 0) for s in scans)
+        assert total_read == job.io_counters()["containers_read"]
+
+
+class TestExplainAnalyze:
+    def test_measured_detail_on_every_executed_node(self, local_session):
+        tree = local_session.explain_analyze(QUERY)
+        seen = []
+
+        def walk(node):
+            seen.append(node)
+            for child in node.children:
+                walk(child)
+
+        walk(tree)
+        assert len(seen) >= 2  # at least scan + project
+        for node in seen:
+            assert "rows" in node.detail
+            assert node.detail["time_ms"] is None or node.detail["time_ms"] >= 0.0
+
+    def test_prefix_is_accepted_and_stripped(self, local_session):
+        plain = local_session.explain_analyze(QUERY)
+        prefixed = local_session.explain_analyze(f"EXPLAIN ANALYZE {QUERY}")
+        assert prefixed.kind == plain.kind
+
+    def test_rows_match_the_real_result(self, local_session, engine):
+        expected = engine.query_table(QUERY)
+        tree = local_session.explain_analyze(QUERY)
+        assert tree.detail["rows"] == (0 if expected is None else len(expected))
+
+
+class TestMetricSurfaces:
+    def test_job_snapshot_names_and_values(self, local_session):
+        job = local_session.submit(QUERY)
+        job.cursor.fetchall()
+        job.join()
+        snap = job.metrics()
+        counters = job.io_counters()
+        assert snap["job.rows"] == job.rows
+        assert snap["job.containers_read"] == counters["containers_read"]
+        assert snap["sweep.sharing_factor"] >= 1.0
+
+    def test_io_report_key_parity_with_snapshot(self, local_session):
+        """Satellite: the legacy dict is *rebuilt from* the registry
+        snapshot — same numbers, pinned key set."""
+        job = local_session.submit(QUERY)
+        job.cursor.fetchall()
+        job.join()
+        report = job.io_report()
+        assert set(report) == {
+            "containers_read",
+            "containers_from_pool",
+            "containers_skipped",
+            "sweep_sharing_factor",
+            "buffer_pool_hit_rate",
+            "workers",
+            "cache",
+        }
+        snap = job_snapshot(job)
+        assert report["containers_read"] == snap["job.containers_read"]
+        assert report["sweep_sharing_factor"] == snap.get("sweep.sharing_factor")
+        assert report["buffer_pool_hit_rate"] == snap.get("buffer_pool.hit_rate")
+
+    def test_session_metrics_count_submissions(self, local_session):
+        before = local_session.metrics().get("session.queries_submitted", 0)
+        local_session.execute(QUERY).fetchall()
+        after = local_session.metrics()
+        # the registry is process-wide, so assert monotonic growth, not
+        # exact counts
+        assert after["session.queries_submitted"] >= before + 1
+        assert after["query.completion_ms"]["count"] >= 1
+
+
+class TestCacheCounterMerge:
+    """Regression for the multi-endpoint cache-counter overwrite: one
+    endpoint's counters used to clobber the previous endpoint's."""
+
+    def test_numeric_counters_sum_across_endpoints(self):
+        merged = _merge_cache_counters(
+            None, {"hit": True, "hits": 3, "misses": 1, "bytes_served": 100}
+        )
+        merged = _merge_cache_counters(
+            merged, {"hit": False, "hits": 1, "misses": 3, "bytes_served": 50}
+        )
+        assert merged["hits"] == 4
+        assert merged["misses"] == 4
+        assert merged["bytes_served"] == 150
+
+    def test_hit_flag_ors_and_rate_recomputes(self):
+        merged = _merge_cache_counters(None, {"hit": False, "hits": 0, "misses": 4})
+        merged = _merge_cache_counters(merged, {"hit": True, "hits": 4, "misses": 0})
+        assert merged["hit"] is True
+        # recomputed from the summed counters — NOT an average of rates
+        assert merged["hit_rate"] == pytest.approx(0.5)
