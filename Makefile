@@ -3,7 +3,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-net test-all bench bench-smoke check serve
+.PHONY: test test-net test-chaos test-all bench bench-smoke check serve
 
 # Tier-1 verification: everything except @pytest.mark.slow benchmarks.
 test:
@@ -18,6 +18,11 @@ check:
 # SIGALRM timeout guard so a wedged socket fails instead of hanging).
 test-net:
 	$(PYTEST) -x -q tests/net
+
+# Chaos tests: scripted server kills over a replicated cluster, with
+# the same SIGALRM guard — a hung failover fails, never wedges.
+test-chaos:
+	$(PYTEST) -x -q tests/chaos
 
 # The full suite including slow-marked benchmark cases.
 test-all:

@@ -347,6 +347,78 @@ def _bench_multi_tenant(photo, tags):
     }
 
 
+#: Failover scenario: the query a mid-stream server kill interrupts.
+FAILOVER_QUERY = "SELECT objid, mag_r FROM photo WHERE mag_r < 21"
+
+
+def _bench_failover(photo):
+    """Completion latency with and without a mid-query server kill.
+
+    A 2-way replicated 3-server cluster answers the same query twice:
+    fault-free, and with a :class:`ScriptedFaults` kill of server 1
+    after its second streamed batch (the undelivered container ranges
+    re-route to the surviving replica).  The wall-clock failover tax is
+    **non-gating** (it depends on host timing); row-for-row correctness
+    under the kill is **gating** — a mismatch fails the whole run.
+    """
+    import numpy as np
+
+    from repro.net import ScriptedFaults
+    from repro.storage.replication import replicate_archive
+
+    archive = DistributedArchive.from_table(photo, depth=6, n_servers=N_SERVERS)
+    replicate_archive(archive, replication_factor=2)
+
+    def run_once(policies):
+        servers = [
+            ArchiveServer(
+                stores=node.stores(),
+                batch_rows=2048,
+                fault_policy=policies.get(node.server_id),
+            ).start()
+            for node in archive.servers
+        ]
+        try:
+            with Archive.connect([s.url for s in servers]) as session:
+                started = time.perf_counter()
+                job = session.submit(FAILOVER_QUERY)
+                table = job.cursor.to_table()
+                wall = time.perf_counter() - started
+                report = job.io_report()
+        finally:
+            for server in servers:
+                server.stop()
+        return table, wall, report
+
+    clean_table, clean_wall, _clean_report = run_once({})
+    faults = ScriptedFaults(
+        [{"point": "stream_batch", "action": "crash_server", "after": 1}]
+    )
+    killed_table, killed_wall, killed_report = run_once({1: faults})
+
+    clean_ids = np.sort(np.asarray(clean_table["objid"]))
+    killed_ids = np.sort(np.asarray(killed_table["objid"]))
+    if not np.array_equal(clean_ids, killed_ids):
+        raise RuntimeError(
+            "failover scenario returned different rows than the fault-free "
+            f"run: {len(clean_ids)} vs {len(killed_ids)} — failover lost or "
+            "duplicated data"
+        )
+    return {
+        "query": FAILOVER_QUERY,
+        "rows": int(len(clean_table)),
+        "rows_match_fault_free_run": True,
+        "kill_fired": bool(faults.fired),
+        "failovers": killed_report["failovers"],
+        "attempts": killed_report["attempts"],
+        "clean_wall_ms": round(clean_wall * 1e3, 3),
+        "killed_wall_ms": round(killed_wall * 1e3, 3),
+        "failover_tax_nongating": (
+            None if clean_wall <= 0 else round(killed_wall / clean_wall, 3)
+        ),
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_session.json")
@@ -392,6 +464,7 @@ def main():
         "batch_size_sweep": _bench_batch_size_sweep(photo, tags),
         "workers_scaling": _bench_workers_scaling(photo, tags),
         "multi_tenant": _bench_multi_tenant(photo, tags),
+        "failover": _bench_failover(photo),
     }
     payload["wall_seconds"] = round(time.perf_counter() - started, 3)
     local.close()

@@ -26,9 +26,17 @@ class ObjectTable:
     data:
         A numpy structured array with exactly the schema's dtype, or
         ``None`` for an empty table.
+
+    ``delivered`` is an optional execution annotation (a tuple of
+    closed ``(lo, hi)`` container-id intervals) stamped on batches by
+    delivery-tracked shard scans: every container whose selected rows
+    are fully contained in the stream *up to and including this batch*.
+    Derived tables (``take``/``select``/``concat``/...) never inherit
+    it — the annotation is only meaningful on the exact batch it was
+    stamped on.
     """
 
-    __slots__ = ("schema", "data")
+    __slots__ = ("schema", "data", "delivered")
 
     def __init__(self, schema, data=None):
         if not isinstance(schema, Schema):
@@ -45,6 +53,7 @@ class ObjectTable:
                 )
         self.schema = schema
         self.data = data
+        self.delivered = None
 
     @classmethod
     def from_columns(cls, schema, columns):

@@ -56,7 +56,15 @@ __all__ = [
 ]
 
 
-def build_shard_tree(store, sharded, coverage, batch_rows=4096, workers=1):
+def build_shard_tree(
+    store,
+    sharded,
+    coverage,
+    batch_rows=4096,
+    workers=1,
+    restrict=None,
+    track_delivery=False,
+):
     """One server's sub-QET: the pushed-down shard half of a split plan.
 
     Shared by the in-process engine (scan trees built directly over each
@@ -65,10 +73,23 @@ def build_shard_tree(store, sharded, coverage, batch_rows=4096, workers=1):
     tree built server-side for a ``mode="shard"`` submission).
     ``workers`` applies morsel parallelism *within* the shard — on a
     process-backed shard each server multiplies cores this way.
+
+    ``restrict`` (a :class:`~repro.htm.ranges.RangeSet`) limits the scan
+    to the coordinator's disjoint container assignment on a replicated
+    cluster, and ``track_delivery`` makes every emitted batch carry the
+    cumulative delivered-container annotation the failover bookkeeping
+    needs (forcing the serial scan path — see
+    :class:`~repro.query.qet.ScanNode`).
     """
     shard = sharded.shard
     node = ScanNode(
-        store, shard, batch_rows=batch_rows, coverage=coverage, workers=workers
+        store,
+        shard,
+        batch_rows=batch_rows,
+        coverage=coverage,
+        workers=workers,
+        restrict=restrict,
+        track_delivery=track_delivery,
     )
     if shard.is_aggregate:
         return AggregateNode(

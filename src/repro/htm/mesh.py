@@ -233,6 +233,39 @@ def lookup_ids_from_vectors(xyz, depth):
             chosen[take] = child_index
             undecided &= ~take
 
+        # The remainder should be the middle child — verify rather than
+        # assume.  A point lying exactly on a mesh vertex or edge can be
+        # rejected by every strict test through one-ulp rounding, and
+        # blindly defaulting would file it half a trixel away from where
+        # it belongs; for those (rare) points pick the child whose worst
+        # edge-plane deviation is smallest.
+        rest = np.nonzero(undecided)[0]
+        if rest.size:
+            all_sets = child_corner_sets + ((w0, w1, w2),)
+            sub = xyz[rest]
+            ma, mb, mc = (arr[rest] for arr in all_sets[3])
+            inside_middle = (
+                (np.sum(sub * np.cross(ma, mb), axis=1) >= 0.0)
+                & (np.sum(sub * np.cross(mb, mc), axis=1) >= 0.0)
+                & (np.sum(sub * np.cross(mc, ma), axis=1) >= 0.0)
+            )
+            bad = rest[~inside_middle]
+            if bad.size:
+                sub = xyz[bad]
+                worst = np.empty((4, bad.size))
+                for child_index, corner_set in enumerate(all_sets):
+                    a, b, c = (arr[bad] for arr in corner_set)
+                    worst[child_index] = np.minimum(
+                        np.minimum(
+                            np.sum(sub * np.cross(a, b), axis=1),
+                            np.sum(sub * np.cross(b, c), axis=1),
+                        ),
+                        np.sum(sub * np.cross(c, a), axis=1),
+                    )
+                # argmax ties break toward the lower child index, the
+                # same order the strict tests use.
+                chosen[bad] = np.argmax(worst, axis=0)
+
         new_corners = np.empty_like(corners)
         for child_index, (a, b, c) in enumerate(child_corner_sets):
             mask = chosen == child_index

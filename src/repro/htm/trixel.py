@@ -116,10 +116,14 @@ class Trixel:
         """Boolean mask: which vector(s) lie inside this trixel.
 
         A point is inside when it is on the positive side of all three
-        edge planes.  Points exactly on an edge count as inside (so a
+        edge planes.  Points on an edge or corner count as inside (so a
         point on a shared edge belongs to both trixels; the *lookup* in
         :mod:`repro.htm.mesh` breaks such ties deterministically by child
-        order).
+        order).  "On" is judged with a tolerance of 1e-12 of each edge
+        normal's length — a point computed via a different floating-point
+        route (trig vs. midpoint normalization) lands within a few ulps
+        of the plane, not exactly on it, while 1e-12 of an edge is still
+        sub-microarcsecond even for the deepest mesh levels.
         """
         xyz = np.asarray(xyz, dtype=np.float64)
         v0, v1, v2 = self.corners
@@ -127,9 +131,9 @@ class Trixel:
         e12 = cross3(v1, v2)
         e20 = cross3(v2, v0)
         return (
-            (np.sum(xyz * e01, axis=-1) >= 0.0)
-            & (np.sum(xyz * e12, axis=-1) >= 0.0)
-            & (np.sum(xyz * e20, axis=-1) >= 0.0)
+            (np.sum(xyz * e01, axis=-1) >= -1.0e-12 * np.linalg.norm(e01))
+            & (np.sum(xyz * e12, axis=-1) >= -1.0e-12 * np.linalg.norm(e12))
+            & (np.sum(xyz * e20, axis=-1) >= -1.0e-12 * np.linalg.norm(e20))
         )
 
     def center(self):

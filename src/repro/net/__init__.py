@@ -23,17 +23,34 @@ boundary made real, with nothing caller-visible changing:
 * :mod:`repro.net.cluster` — :class:`RemotePartitionedExecutor`:
   ``Archive.connect(["archive://...", ...])`` scatter-gathers the
   deterministic shard/merge plan split across partition servers in
-  other processes.
+  other processes; on replicated clusters a
+  :class:`ShardFailoverPlanner` re-routes the undelivered container
+  ranges of a mid-stream server death to surviving replicas.
+* :mod:`repro.net.faults` — :class:`FaultPolicy` /
+  :class:`ScriptedFaults`: deterministic fault injection hooks an
+  :class:`ArchiveServer` consults at every op and streamed batch, for
+  chaos tests that kill servers at a chosen, reproducible point.
 """
 
 from repro.net.client import (
     RemoteExecutor,
     RemoteRootNode,
+    RetryPolicy,
     WireTelemetry,
     parse_archive_options,
     parse_archive_url,
 )
-from repro.net.cluster import RemotePartitionedExecutor, RemoteShard
+from repro.net.cluster import (
+    RemotePartitionedExecutor,
+    RemoteShard,
+    ShardFailoverPlanner,
+)
+from repro.net.faults import (
+    CrashServer,
+    DropConnection,
+    FaultPolicy,
+    ScriptedFaults,
+)
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
@@ -57,8 +74,14 @@ __all__ = [
     "ShardExecutor",
     "RemoteExecutor",
     "RemoteRootNode",
+    "RetryPolicy",
     "RemotePartitionedExecutor",
     "RemoteShard",
+    "ShardFailoverPlanner",
+    "FaultPolicy",
+    "ScriptedFaults",
+    "DropConnection",
+    "CrashServer",
     "WireTelemetry",
     "parse_archive_options",
     "parse_archive_url",

@@ -21,14 +21,29 @@ with the connection error as its cause — never a hang.  Cancellation is
 out-of-band (a side connection carrying ``cancel`` plus a shutdown of
 the streaming socket), so a job blocked deep in the server's batch queue
 still cancels promptly.
+
+Two resilience layers soften that contract without weakening it:
+*control-plane* ops (hello, prepare, stats, mydb) are idempotent and
+retried through a :class:`RetryPolicy` (capped exponential backoff with
+jitter), and a *shard* node under the replicated scatter-gather
+coordinator carries a failover plan — when its server dies mid-stream
+the node re-routes the still-undelivered container ranges to surviving
+replicas instead of failing the job (see
+:class:`~repro.net.cluster.RemotePartitionedExecutor`).  Submissions
+themselves are never blindly retried: a full-mode submit is not
+idempotent once the first byte streamed.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
+from collections import deque
 
+from repro.htm.ranges import RangeSet
+from repro.obs.metrics import registry as metrics_registry
 from repro.obs.trace import Span
 from repro.net.protocol import (
     SUPPORTED_COMPRESSION,
@@ -49,6 +64,7 @@ from repro.session.executor import Executor, PreparedQuery
 
 __all__ = [
     "WireTelemetry",
+    "RetryPolicy",
     "RemoteExecutor",
     "RemoteRootNode",
     "parse_archive_url",
@@ -123,6 +139,68 @@ def open_connection(endpoint, connect_timeout=5.0, timeout=None):
     except OSError:
         pass
     return sock
+
+
+class RetryPolicy:
+    """Capped exponential backoff with jitter for idempotent wire ops.
+
+    The schedule between attempt ``k`` and ``k+1`` is::
+
+        delay_k = min(max_delay, base_delay * multiplier**k)
+
+    jittered uniformly within ``±jitter`` of itself (a fraction, so
+    ``jitter=0.25`` means the actual sleep lands in ``[0.75, 1.25] *
+    delay_k``) — retries from many clients decorrelate instead of
+    stampeding a recovering server.  When every attempt fails, the
+    *original* (last) exception re-raises unchanged, so callers keep
+    their structured error classes.
+
+    ``sleep`` and ``rng`` are injectable for deterministic tests.  Each
+    performed retry increments the ``net.retries`` counter in the
+    process-wide metrics registry.
+    """
+
+    def __init__(
+        self,
+        attempts=3,
+        base_delay=0.05,
+        max_delay=2.0,
+        multiplier=2.0,
+        jitter=0.25,
+        sleep=time.sleep,
+        rng=None,
+    ):
+        self.attempts = max(1, int(attempts))
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    def delay(self, attempt):
+        """The jittered backoff after failed attempt ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if not self.jitter:
+            return base
+        spread = base * self.jitter
+        return max(0.0, base - spread + self._rng.random() * 2.0 * spread)
+
+    def call(self, fn, retry_on=(OSError, ConnectionClosed)):
+        """Run ``fn`` with retries; only ``retry_on`` errors are retried.
+
+        Anything outside ``retry_on`` (a structured server error, an
+        authentication refusal) propagates immediately — retrying those
+        would just repeat the refusal.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except retry_on:
+                if attempt + 1 >= self.attempts:
+                    raise
+                metrics_registry().counter("net.retries").inc()
+                self._sleep(self.delay(attempt))
 
 
 class WireTelemetry:
@@ -203,6 +281,31 @@ class RemoteRootNode(QETNode):
     pushed-down shard half of SELECT number ``select_index`` — the
     building block of the remote scatter-gather executor, whose
     coordinator stacks the ordinary merge tree on top of these nodes.
+
+    On a *replicated* cluster the coordinator also passes ``ranges``
+    (this shard's disjoint container assignment), ``failover`` (the
+    query's shared :class:`~repro.net.cluster.ShardFailoverPlanner`)
+    and ``strategy``.  The node then runs a queue of *segments* —
+    ``(endpoint, ranges)`` submissions — starting with its own
+    assignment: when a segment's server dies mid-stream, the
+    still-undelivered ranges (assignment minus the last batch's
+    ``delivered`` annotation) are re-routed to surviving replicas and
+    appended as new segments, so rows are neither lost nor duplicated.
+    ``strategy`` says how the remainder may be split:
+
+    ``"split"``
+        Across any number of survivors (plain streams; aggregates,
+        whose partials recombine over disjoint container sets).
+    ``"single"``
+        One survivor must cover *all* remaining ranges (ordered shard
+        streams: the coordinator's merge needs one sorted stream per
+        child).
+    ``"fresh"``
+        Only a clean restart is sound (bare-LIMIT shards): failover
+        happens only if this node has emitted zero rows.
+
+    Without a ``failover`` plan the legacy contract holds: a dead
+    server fails the job with the connection error as its cause.
     """
 
     name = "remote"
@@ -223,6 +326,9 @@ class RemoteRootNode(QETNode):
         compression=None,
         user=None,
         token=None,
+        ranges=None,
+        failover=None,
+        strategy="split",
     ):
         super().__init__(())
         self.output = _CancelSignallingStream()
@@ -263,6 +369,23 @@ class RemoteRootNode(QETNode):
         self.remote_analyzed_plan = None
         #: codec the server actually agreed to (set at submit time)
         self.negotiated_compression = None
+        #: this shard's disjoint container assignment (closed intervals),
+        #: or ``None`` for the legacy unrestricted scan
+        self.ranges = (
+            tuple((int(lo), int(hi)) for lo, hi in ranges)
+            if ranges is not None
+            else None
+        )
+        #: the query's shared failover planner (``None`` = legacy contract)
+        self.failover = failover
+        #: how undelivered ranges may be re-routed: split / single / fresh
+        self.strategy = strategy
+        #: submissions attempted (1 on a clean run) and successful
+        #: failovers — folded into Job.io_report / the query log
+        self.attempts = 0
+        self.failovers = 0
+        #: cumulative ``delivered`` annotation of the *current* segment
+        self._segment_delivered = None
         #: server-side job id once accepted
         self.remote_job_id = None
         #: serialized per-node NodeStats from the server (after drain)
@@ -351,28 +474,42 @@ class RemoteRootNode(QETNode):
     # -- execution ------------------------------------------------------
 
     def run(self):
-        sock = open_connection(self.endpoint, self.connect_timeout, self.timeout)
+        # One entry per pending submission: (endpoint, ranges).  A clean
+        # run is the single initial segment; each failover replaces a
+        # dead segment with re-routed ones covering its remainder.
+        segments = deque([(self.endpoint, self.ranges)])
+        while segments:
+            endpoint, ranges = segments.popleft()
+            try:
+                self._run_segment(endpoint, ranges)
+            except (OSError, ConnectionClosed) as exc:
+                if self.output.cancelled():
+                    return  # interrupted by our own cancellation
+                segments.extend(self._plan_failover(endpoint, ranges, exc))
+            except Exception:
+                # A structured error frame that merely reflects our own
+                # cancellation (e.g. the server-side job reporting
+                # "cancelled") is a clean exit, not a failure.
+                if self.output.cancelled():
+                    return
+                raise
+
+    def _run_segment(self, endpoint, ranges):
+        self.attempts += 1
+        self._segment_delivered = None
+        sock = open_connection(endpoint, self.connect_timeout, self.timeout)
         with self._sock_lock:
             if self.output.cancelled():
                 sock.close()
                 return
             self._sock = sock
+            # Per-segment wire state: a replacement submission is a new
+            # server-side job (on a new server), so the side-channel
+            # cancel must target it, not the dead one.
+            self.remote_job_id = None
+            self._cancel_sent = False
         try:
-            self._stream(sock)
-        except (OSError, ConnectionClosed) as exc:
-            if self.output.cancelled():
-                return  # interrupted by our own cancellation, not a failure
-            host, port = self.endpoint
-            raise ConnectionClosed(
-                f"archive server at {host}:{port} died mid-stream: {exc}"
-            ) from exc
-        except Exception:
-            # A structured error frame that merely reflects our own
-            # cancellation (e.g. the server-side job reporting
-            # "cancelled") is a clean exit, not a failure.
-            if self.output.cancelled():
-                return
-            raise
+            self._stream(sock, endpoint, ranges)
         finally:
             with self._sock_lock:
                 self._sock = None
@@ -381,7 +518,53 @@ class RemoteRootNode(QETNode):
             except OSError:
                 pass
 
-    def _stream(self, sock):
+    def _plan_failover(self, endpoint, ranges, exc):
+        """Replacement segments after ``endpoint`` died mid-stream.
+
+        Returns ``[(endpoint, intervals), ...]`` covering the dead
+        segment's still-undelivered ranges; empty when everything was
+        already delivered.  Raises (failing the job) when no failover
+        plan exists — the legacy contract — or when no surviving
+        replica covers the remainder
+        (:class:`~repro.query.errors.UnrecoverableShardError`).
+        """
+        host, port = endpoint
+        died = ConnectionClosed(
+            f"archive server at {host}:{port} died mid-stream: {exc}"
+        )
+        if self.failover is None or ranges is None:
+            raise died from exc
+        self.failover.mark_dead(endpoint)
+        remaining = RangeSet(ranges).difference(
+            RangeSet(self._segment_delivered or ())
+        )
+        if remaining.is_empty():
+            # The stream died after its last data batch (e.g. during the
+            # done handshake): every assigned container is accounted
+            # for, so there is nothing to re-route.
+            self.failovers += 1
+            metrics_registry().counter("net.failovers").inc()
+            return []
+        if self.strategy == "fresh" and self.stats.rows_out > 0:
+            from repro.query.errors import UnrecoverableShardError
+
+            raise UnrecoverableShardError(
+                f"archive server at {host}:{port} died mid-stream with "
+                f"{self.stats.rows_out} rows already emitted from a "
+                "LIMIT-truncated shard stream, which cannot be resumed "
+                f"without duplicates; unrecoverable ranges: "
+                f"{[list(iv) for iv in remaining.intervals]}",
+                ranges=remaining.intervals,
+                endpoint=endpoint,
+            ) from exc
+        replacements = self.failover.replacements(
+            remaining, self.strategy, endpoint
+        )
+        self.failovers += 1
+        metrics_registry().counter("net.failovers").inc()
+        return [(ep, rs.intervals) for ep, rs in replacements]
+
+    def _stream(self, sock, endpoint, ranges):
         authenticate_connection(sock, self.user, self.token, telemetry=self.telemetry)
         submit = {
             "op": "submit",
@@ -391,6 +574,8 @@ class RemoteRootNode(QETNode):
             "mode": self.mode,
             "select_index": self.select_index,
         }
+        if ranges is not None:
+            submit["ranges"] = [list(iv) for iv in ranges]
         if self.trace_id is not None:
             submit["trace_id"] = self.trace_id
         if self.compression in SUPPORTED_COMPRESSION:
@@ -448,6 +633,16 @@ class RemoteRootNode(QETNode):
                 if len(batch) and not self._emit(batch):
                     self._send_side_cancel()
                     return
+                delivered = batch_header.get("delivered")
+                if delivered is not None:
+                    # Range-restricted shard stream: the server's
+                    # cumulative claim of containers fully accounted
+                    # for.  Recorded only after the batch is safely in
+                    # the output stream — the failover remainder is
+                    # computed against it.
+                    self._segment_delivered = tuple(
+                        (int(lo), int(hi)) for lo, hi in delivered
+                    )
         stream_span.ended_at = time.perf_counter()
         self._collect_stats(sock)
 
@@ -532,11 +727,16 @@ class RemoteExecutor(Executor):
         compression=None,
         user=None,
         token=None,
+        retry=None,
     ):
         self.endpoint = (host, int(port))
         self.connect_timeout = connect_timeout
         self.timeout = timeout
         self.fetch_batches = fetch_batches
+        #: RetryPolicy for the idempotent control-plane ops (hello,
+        #: prepare, stats, mydb).  Submissions are never retried here —
+        #: they stop being idempotent the moment the first byte streams.
+        self.retry = retry if retry is not None else RetryPolicy()
         #: table-frame codec to request for result streams (e.g.
         #: ``"zlib"``); servers that do not speak it fall back to raw
         #: frames, so this is always safe to set
@@ -577,76 +777,98 @@ class RemoteExecutor(Executor):
         authentication exchange — an invalid token raises the server's
         structured :class:`~repro.service.errors.AuthenticationError`.
         """
-        sock = open_connection(
-            self.endpoint, self.connect_timeout, timeout=self.connect_timeout
-        )
-        try:
-            request = {"op": "hello"}
-            if self.user is not None or self.token is not None:
-                request["user"] = self.user
-                request["token"] = self.token
-            header, _ = _request(sock, request, telemetry=self.telemetry)
-        finally:
-            sock.close()
-        return header
+
+        def attempt():
+            sock = open_connection(
+                self.endpoint, self.connect_timeout, timeout=self.connect_timeout
+            )
+            try:
+                request = {"op": "hello"}
+                if self.user is not None or self.token is not None:
+                    request["user"] = self.user
+                    request["token"] = self.token
+                header, _ = _request(sock, request, telemetry=self.telemetry)
+            finally:
+                sock.close()
+            return header
+
+        return self.retry.call(attempt)
 
     def stats(self):
         """The server's ``stats`` snapshot: metrics registry contents
         (cache hit rate, pool/sweep counters, admission queue depth)
         plus server vitals (uptime, per-user job counts)."""
-        sock = open_connection(
-            self.endpoint, self.connect_timeout, timeout=self.CONTROL_TIMEOUT
-        )
-        try:
-            authenticate_connection(
-                sock, self.user, self.token, telemetry=self.telemetry
+
+        def attempt():
+            sock = open_connection(
+                self.endpoint, self.connect_timeout, timeout=self.CONTROL_TIMEOUT
             )
-            header, _ = _request(sock, {"op": "stats"}, telemetry=self.telemetry)
-        finally:
-            sock.close()
-        return header
+            try:
+                authenticate_connection(
+                    sock, self.user, self.token, telemetry=self.telemetry
+                )
+                header, _ = _request(sock, {"op": "stats"}, telemetry=self.telemetry)
+            finally:
+                sock.close()
+            return header
+
+        return self.retry.call(attempt)
 
     def mydb_op(self, action, name=None):
         """Control-plane MyDB operation against the server-side
         workspace: ``"list"``, ``"usage"``, or ``"drop"`` (with
-        ``name``).  Returns the server's response header."""
-        sock = open_connection(
-            self.endpoint, self.connect_timeout, timeout=self.CONTROL_TIMEOUT
-        )
-        try:
-            authenticate_connection(
-                sock, self.user, self.token, telemetry=self.telemetry
+        ``name``).  Returns the server's response header.
+
+        ``list`` and ``usage`` are pure reads; ``drop`` is idempotent
+        too (dropping an already-dropped table is a structured error,
+        not a retried side effect), so all three ride the retry policy.
+        """
+
+        def attempt():
+            sock = open_connection(
+                self.endpoint, self.connect_timeout, timeout=self.CONTROL_TIMEOUT
             )
-            request = {"op": "mydb", "action": action}
-            if name is not None:
-                request["name"] = name
-            header, _ = _request(sock, request, telemetry=self.telemetry)
-        finally:
-            sock.close()
-        return header
+            try:
+                authenticate_connection(
+                    sock, self.user, self.token, telemetry=self.telemetry
+                )
+                request = {"op": "mydb", "action": action}
+                if name is not None:
+                    request["name"] = name
+                header, _ = _request(sock, request, telemetry=self.telemetry)
+            finally:
+                sock.close()
+            return header
+
+        return self.retry.call(attempt)
 
     def prepare(self, text, allow_tag_route=True):
         control_timeout = (
             self.timeout if self.timeout is not None else self.CONTROL_TIMEOUT
         )
-        sock = open_connection(
-            self.endpoint, self.connect_timeout, timeout=control_timeout
-        )
-        try:
-            authenticate_connection(
-                sock, self.user, self.token, telemetry=self.telemetry
+
+        def attempt():
+            sock = open_connection(
+                self.endpoint, self.connect_timeout, timeout=control_timeout
             )
-            header, _ = _request(
-                sock,
-                {
-                    "op": "prepare",
-                    "text": text,
-                    "allow_tag_route": allow_tag_route,
-                },
-                telemetry=self.telemetry,
-            )
-        finally:
-            sock.close()
+            try:
+                authenticate_connection(
+                    sock, self.user, self.token, telemetry=self.telemetry
+                )
+                response, _ = _request(
+                    sock,
+                    {
+                        "op": "prepare",
+                        "text": text,
+                        "allow_tag_route": allow_tag_route,
+                    },
+                    telemetry=self.telemetry,
+                )
+            finally:
+                sock.close()
+            return response
+
+        header = self.retry.call(attempt)
         root = RemoteRootNode(
             self.endpoint,
             text,

@@ -26,6 +26,9 @@ one of these and returns an ordinary :class:`~repro.session.Session`.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.distributed.engine import build_merge_tree
 from repro.distributed.routing import ShardFanoutReport
 from repro.htm.ranges import RangeSet
@@ -36,9 +39,9 @@ from repro.net.client import (
     parse_archive_options,
     parse_archive_url,
 )
-from repro.net.protocol import schema_from_wire
+from repro.net.protocol import ProtocolError, RemoteArchiveError, schema_from_wire
 from repro.query.ast_nodes import Select, SetOp
-from repro.query.errors import PlanError
+from repro.query.errors import PlanError, UnrecoverableShardError
 from repro.query.optimizer import (
     output_schema_for,
     plan_query,
@@ -49,7 +52,11 @@ from repro.query.parser import parse_query
 from repro.query.qet import DifferenceNode, IntersectNode, UnionNode
 from repro.session.executor import Executor, PreparedQuery
 
-__all__ = ["RemotePartitionedExecutor", "RemoteShard"]
+__all__ = [
+    "RemotePartitionedExecutor",
+    "RemoteShard",
+    "ShardFailoverPlanner",
+]
 
 
 class RemoteShard:
@@ -82,6 +89,104 @@ class RemoteShard:
     def __repr__(self):
         host, port = self.endpoint
         return f"RemoteShard({self.shard_id}, archive://{host}:{port})"
+
+
+def _failover_strategy(sharded):
+    """How a dead shard's undelivered ranges may be re-routed.
+
+    Derived from the split plan exactly like both wire ends derive the
+    split itself, so the classification is deterministic:
+
+    * ``aggregate`` merges recombine partials over disjoint container
+      sets, and plain streams are order-free — the remainder may
+      ``split`` across any survivors;
+    * ``ordered`` merges need one sorted stream per child, so a
+      ``single`` survivor must take the whole remainder;
+    * a bare LIMIT shard stream truncates, which falsifies resume
+      bookkeeping once rows flowed — only a ``fresh`` zero-row restart
+      is sound.
+    """
+    merge = sharded.merge
+    if merge.kind == "ordered":
+        return "single"
+    if merge.kind != "aggregate" and merge.limit is not None:
+        return "fresh"
+    return "split"
+
+
+class ShardFailoverPlanner:
+    """Per-query failover state shared by one SELECT's shard leaves.
+
+    Tracks which endpoints died (thread-safe — shard nodes fail
+    concurrently) and plans replacements: which surviving replicas
+    cover a dead shard's still-undelivered container ranges.  Raises
+    :class:`~repro.query.errors.UnrecoverableShardError` naming the
+    uncoverable ranges when the cluster has degraded too far — the
+    structured FAILED cause the acceptance contract demands.
+    """
+
+    def __init__(self, shards, source):
+        self.shards = list(shards)
+        self.source = source
+        self._dead = set()
+        self._lock = threading.Lock()
+
+    def mark_dead(self, endpoint):
+        with self._lock:
+            self._dead.add(tuple(endpoint))
+
+    def survivors(self):
+        """Shards not yet marked dead, in shard-id order."""
+        with self._lock:
+            dead = set(self._dead)
+        return [s for s in self.shards if s.endpoint not in dead]
+
+    def replacements(self, remaining, strategy, dead_endpoint):
+        """``[(endpoint, RangeSet), ...]`` covering ``remaining``.
+
+        ``strategy="single"`` demands one survivor holding every
+        remaining container; anything else greedily splits the
+        remainder across survivors in shard-id order.
+        """
+        host, port = dead_endpoint
+        survivors = [
+            s for s in self.survivors() if s.endpoint != tuple(dead_endpoint)
+        ]
+        if strategy == "single":
+            for shard in survivors:
+                held = shard.ranges.get(self.source)
+                if held is not None and remaining.difference(held).is_empty():
+                    return [(shard.endpoint, remaining)]
+            raise UnrecoverableShardError(
+                "no single surviving replica covers the ordered shard "
+                f"stream's remaining container ranges "
+                f"{[list(iv) for iv in remaining.intervals]} after archive "
+                f"server at {host}:{port} died",
+                ranges=remaining.intervals,
+                endpoint=dead_endpoint,
+            )
+        assignments = []
+        left = remaining
+        for shard in survivors:
+            if left.is_empty():
+                break
+            held = shard.ranges.get(self.source)
+            if held is None:
+                continue
+            take = left.intersect(held)
+            if take.is_empty():
+                continue
+            assignments.append((shard.endpoint, take))
+            left = left.difference(take)
+        if not left.is_empty():
+            raise UnrecoverableShardError(
+                "no surviving replica covers container ranges "
+                f"{[list(iv) for iv in left.intervals]} after archive "
+                f"server at {host}:{port} died",
+                ranges=left.intervals,
+                endpoint=dead_endpoint,
+            )
+        return assignments
 
 
 class RemotePartitionedExecutor(Executor):
@@ -124,21 +229,48 @@ class RemotePartitionedExecutor(Executor):
         #: table-frame codec requested on every shard submission
         self.compression = compression
         self.telemetry = WireTelemetry()
-        self.shards = []
-        for shard_id, url in enumerate(urls):
-            host, port = parse_archive_url(url)
-            probe = RemoteExecutor(
+
+        def probe(entry):
+            shard_id, _url, host, port = entry
+            executor = RemoteExecutor(
                 host, port, connect_timeout=connect_timeout, timeout=timeout
             )
-            probe.telemetry = self.telemetry
-            hello = probe.hello()
-            shard = RemoteShard(shard_id, host, port, hello)
+            executor.telemetry = self.telemetry
+            return RemoteShard(shard_id, host, port, executor.hello())
+
+        # Concurrent hello probes: one dead endpoint used to serialize
+        # startup by connect_timeout *each*; probing in parallel bounds
+        # startup by the slowest single endpoint and reports every
+        # unreachable one in a single error instead of the first.
+        parsed = [
+            (shard_id, url, *parse_archive_url(url))
+            for shard_id, url in enumerate(urls)
+        ]
+        with ThreadPoolExecutor(
+            max_workers=min(len(parsed), 16),
+            thread_name_prefix="archive-probe",
+        ) as pool:
+            futures = [pool.submit(probe, entry) for entry in parsed]
+        self.shards = []
+        unreachable = []
+        for entry, future in zip(parsed, futures):
+            _shard_id, url, _host, _port = entry
+            try:
+                shard = future.result()
+            except (OSError, ProtocolError, RemoteArchiveError) as exc:
+                unreachable.append(f"{url} ({exc})")
+                continue
             if not shard.shard_capable:
                 raise ValueError(
                     f"endpoint {url} hosts a {shard.kind!r} backend and "
                     "cannot serve shard-mode queries"
                 )
             self.shards.append(shard)
+        if unreachable:
+            raise ConnectionError(
+                f"{len(unreachable)} of {len(parsed)} cluster endpoint(s) "
+                f"unreachable: {'; '.join(unreachable)}"
+            )
         self.depth = self.shards[0].depth
         self.schemas = dict(self.shards[0].schemas)
         for shard in self.shards[1:]:
@@ -152,6 +284,27 @@ class RemotePartitionedExecutor(Executor):
                 raise ValueError(
                     f"shard {shard!r} is missing sources {sorted(missing)}"
                 )
+        #: whether any source's containers are held by more than one
+        #: endpoint.  A replicated cluster switches the fan-out to
+        #: disjoint range assignments (an unrestricted scan of
+        #: overlapping holdings would duplicate rows) and arms replica
+        #: failover; a non-replicated cluster keeps the exact legacy
+        #: fan-out, bookkeeping-free.
+        self.replicated = self._detect_replication()
+
+    def _detect_replication(self):
+        for source in self.schemas:
+            union = RangeSet()
+            total = 0
+            for shard in self.shards:
+                held = shard.ranges.get(source)
+                if held is None:
+                    continue
+                total += held.count()
+                union = union.union(held)
+            if total > union.count():
+                return True
+        return False
 
     # -- planning -------------------------------------------------------
 
@@ -204,16 +357,45 @@ class RemotePartitionedExecutor(Executor):
             source=plan.routed_source, servers_total=len(self.shards)
         )
         touched = []
-        for shard in self.shards:
-            if shard.covers(plan.routed_source, candidates):
+        assignments = {}
+        failover = None
+        strategy = "split"
+        if not self.replicated:
+            # Legacy fan-out: holdings are disjoint, every covering
+            # shard scans its full holdings unrestricted.
+            for shard in self.shards:
+                if shard.covers(plan.routed_source, candidates):
+                    touched.append(shard)
+                    report.touched_server_ids.append(shard.shard_id)
+                else:
+                    report.pruned_server_ids.append(shard.shard_id)
+        else:
+            # Replicated holdings overlap: assign each candidate
+            # container to exactly one endpoint (shard-id order wins
+            # ties) so no row is scanned twice, and arm failover with
+            # the full placement map.
+            strategy = _failover_strategy(sharded)
+            failover = ShardFailoverPlanner(self.shards, plan.routed_source)
+            taken = RangeSet()
+            for shard in self.shards:
+                held = shard.ranges.get(plan.routed_source)
+                if held is None:
+                    report.pruned_server_ids.append(shard.shard_id)
+                    continue
+                wanted = held if candidates is None else held.intersect(candidates)
+                assigned = wanted.difference(taken)
+                if assigned.is_empty():
+                    report.pruned_server_ids.append(shard.shard_id)
+                    continue
+                taken = taken.union(assigned)
+                assignments[shard.shard_id] = assigned
                 touched.append(shard)
                 report.touched_server_ids.append(shard.shard_id)
-            else:
-                report.pruned_server_ids.append(shard.shard_id)
         reports.append(report)
 
         shard_roots = []
         for shard in touched:
+            assigned = assignments.get(shard.shard_id)
             shard_roots.append(
                 RemoteRootNode(
                     shard.endpoint,
@@ -227,6 +409,9 @@ class RemotePartitionedExecutor(Executor):
                     fetch_batches=self.fetch_batches,
                     server_id=shard.shard_id,
                     compression=self.compression,
+                    ranges=assigned.intervals if assigned is not None else None,
+                    failover=failover,
+                    strategy=strategy,
                 )
             )
         root = build_merge_tree(shard_roots, sharded, batch_rows=self.batch_rows)

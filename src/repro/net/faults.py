@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the archive wire.
+
+Chaos testing needs failures that happen at a *chosen* point in the
+submit/stream/stats lifecycle, reproducibly — "the third batch frame of
+the second fetch dies" — not whenever a signal handler happens to fire.
+This module is that seam: an :class:`ArchiveServer` accepts a
+``fault_policy`` whose hooks are consulted at every dispatched op and at
+every streamed batch frame, and :class:`ScriptedFaults` implements the
+policy as a list of declarative specs counted per injection point.
+
+Injection points
+----------------
+``op:<name>``
+    Just before the server dispatches an incoming op (``hello``,
+    ``submit``, ``fetch_batch``, ``stats``, ...).
+``stream_batch``
+    Just before the server writes one binary table frame of a
+    ``fetch_batch`` response — the mid-stream point, where a kill is
+    most interesting for failover.
+
+Actions
+-------
+``drop_connection``
+    Close just this connection (the client sees EOF / reset); the
+    server keeps running.  Exercises the retry path.
+``crash_server``
+    Kill the whole server — listener and every live connection — as a
+    process death would.  Exercises the failover path.
+``delay``
+    Sleep ``seconds`` before proceeding (slow-network simulation).
+``error``
+    Raise a :class:`ProtocolError` into the op handler, which the
+    server reports as a structured error frame.
+
+Every spec fires on the ``after``-th matching event (0-based count of
+*prior* matches), exactly once, so a seeded test replays identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.net.protocol import ProtocolError
+
+__all__ = [
+    "FaultPolicy",
+    "ScriptedFaults",
+    "DropConnection",
+    "CrashServer",
+]
+
+
+class DropConnection(Exception):
+    """Raised by a fault hook to sever the current connection only."""
+
+
+class CrashServer(Exception):
+    """Raised by a fault hook to kill the whole server mid-operation."""
+
+
+class FaultPolicy:
+    """Base fault policy: never fires.
+
+    Subclass (or use :class:`ScriptedFaults`) and pass as
+    ``ArchiveServer(fault_policy=...)``.  Hooks run on the connection
+    threads; raising :class:`DropConnection` severs that connection,
+    raising :class:`CrashServer` makes the server call
+    :meth:`~repro.net.server.ArchiveServer.crash`.
+    """
+
+    def on_op(self, op, header):
+        """Called before dispatching ``op`` (header is the request)."""
+
+    def on_stream_batch(self, job_id, batch_index):
+        """Called before each streamed table frame of a fetch response."""
+
+
+class ScriptedFaults(FaultPolicy):
+    """Declarative, counted fault specs — the deterministic chaos script.
+
+    Each spec is a dict::
+
+        {"point": "op:submit" | "stream_batch",
+         "action": "drop_connection" | "crash_server" | "delay" | "error",
+         "after": 2,          # fire on the third matching event (default 0)
+         "seconds": 0.05,     # delay only
+         "message": "..."}    # error only
+
+    Counters are per *point*, shared across connections and guarded by a
+    lock, so "the k-th batch frame the server ever streams" means the
+    same event no matter how the client interleaves fetches.  Each spec
+    fires exactly once.
+    """
+
+    def __init__(self, specs):
+        self._specs = []
+        for spec in specs:
+            entry = dict(spec)
+            entry.setdefault("after", 0)
+            entry["fired"] = False
+            if entry.get("point") not in ("stream_batch",) and not str(
+                entry.get("point", "")
+            ).startswith("op:"):
+                raise ValueError(f"unknown injection point {entry.get('point')!r}")
+            self._specs.append(entry)
+        self._counts = {}
+        self._lock = threading.Lock()
+        #: (point, action) tuples of fired faults, in firing order — the
+        #: test's evidence that the script actually ran.
+        self.fired = []
+
+    def _match(self, point):
+        """Count one event at ``point``; return the spec to fire, if any."""
+        with self._lock:
+            seen = self._counts.get(point, 0)
+            self._counts[point] = seen + 1
+            for spec in self._specs:
+                if spec["fired"] or spec["point"] != point:
+                    continue
+                if spec["after"] == seen:
+                    spec["fired"] = True
+                    self.fired.append((point, spec["action"]))
+                    return dict(spec)
+        return None
+
+    def _fire(self, spec):
+        action = spec["action"]
+        if action == "delay":
+            time.sleep(float(spec.get("seconds", 0.01)))
+            return
+        if action == "drop_connection":
+            raise DropConnection(f"injected at {spec['point']}")
+        if action == "crash_server":
+            raise CrashServer(f"injected at {spec['point']}")
+        if action == "error":
+            raise ProtocolError(
+                spec.get("message", f"injected error at {spec['point']}")
+            )
+        raise ValueError(f"unknown fault action {action!r}")
+
+    def on_op(self, op, header):
+        spec = self._match(f"op:{op}")
+        if spec is not None:
+            self._fire(spec)
+
+    def on_stream_batch(self, job_id, batch_index):
+        spec = self._match("stream_batch")
+        if spec is not None:
+            self._fire(spec)

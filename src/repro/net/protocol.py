@@ -42,13 +42,22 @@ Operations
     remote scatter-gather executor fans out.  An optional ``trace_id``
     rides the frame so the server-side job records its spans under the
     *client's* trace — ``job_stats`` ships them back and the client
-    grafts them into one merged span tree per query.
+    grafts them into one merged span tree per query.  Shard submissions
+    on a replicated cluster also carry ``ranges`` — a list of closed
+    ``[lo, hi]`` container-id intervals restricting the shard scan to
+    the coordinator's disjoint container assignment; the same field is
+    how a failover *resumes*: the replacement submission's ranges are
+    the dead shard's assignment minus what it already delivered.
 ``fetch_batch``
     Pull the next run of result batches for a job (client-driven
     streaming: the response is a ``batches`` frame followed by one
     binary table frame per batch, ``done`` marking exhaustion).  Empty
     results are simply ``done`` with zero batches — the client already
     holds the static output schema, so they stay well-formed tables.
+    On a range-restricted shard stream, each table frame's header also
+    carries ``delivered`` — the cumulative closed container-id
+    intervals fully accounted for up to and including that batch — the
+    client-side bookkeeping that makes resume-from-range exact.
 ``cancel``
     Cancel a job, stopping every server-side QET thread (the client's
     out-of-band cancel path).  Job handles are owner-scoped: once a

@@ -43,6 +43,7 @@ from collections import deque
 
 from repro.distributed.engine import build_shard_tree
 from repro.htm.ranges import RangeSet
+from repro.net.faults import CrashServer, DropConnection
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_COMPRESSION,
@@ -120,7 +121,7 @@ class ShardExecutor(Executor):
         #: hosted engine so one knob configures both submission modes
         self.workers = getattr(engine, "workers", 1)
 
-    def prepare(self, text, allow_tag_route=True, select_index=0):
+    def prepare(self, text, allow_tag_route=True, select_index=0, ranges=None):
         ast = parse_query(text)
         selects = _collect_selects(ast)
         index = int(select_index)
@@ -138,12 +139,24 @@ class ShardExecutor(Executor):
         sharded = split_plan(plan)
         store = self.engine.stores[plan.routed_source]
         coverage, _candidates = shard_candidates(plan, store.depth)
+        restrict = None
+        track = False
+        if ranges is not None:
+            # A replicated-cluster submission: scan only the coordinator's
+            # disjoint container assignment, and stamp every batch with
+            # the cumulative delivered ranges so a failover can resume
+            # exactly where this stream died.  Tracking needs the serial
+            # scan, so the morsel pool is not spun up.
+            restrict = RangeSet(tuple((int(lo), int(hi)) for lo, hi in ranges))
+            track = True
         root = build_shard_tree(
             store,
             sharded,
             coverage,
             batch_rows=self.batch_rows,
-            workers=self.workers,
+            workers=1 if track else self.workers,
+            restrict=restrict,
+            track_delivery=track,
         )
         return PreparedQuery(
             text=text,
@@ -184,6 +197,7 @@ class _ServerExecutor(Executor):
         mode="full",
         select_index=0,
         extra_stores=None,
+        ranges=None,
     ):
         if mode == "full":
             kwargs = {}
@@ -199,7 +213,10 @@ class _ServerExecutor(Executor):
                 "(shard mode needs a single-store engine)"
             )
         return self.shard.prepare(
-            text, allow_tag_route=allow_tag_route, select_index=select_index
+            text,
+            allow_tag_route=allow_tag_route,
+            select_index=select_index,
+            ranges=ranges,
         )
 
 
@@ -285,6 +302,7 @@ class ArchiveServer:
         auth=None,
         cache=None,
         mydb_quota_bytes=None,
+        fault_policy=None,
     ):
         if service is not None and (
             auth is not None or cache is not None or mydb_quota_bytes is not None
@@ -335,6 +353,11 @@ class ArchiveServer:
         self._job_counter = 0
         self._lock = threading.Lock()
         self._closing = threading.Event()
+        self._stopped = False
+        #: optional :class:`~repro.net.faults.FaultPolicy` consulted at
+        #: every dispatched op and every streamed batch frame — the
+        #: chaos-test injection seam; ``None`` costs nothing
+        self.fault_policy = fault_policy
         #: monotonic base of the ``stats`` op's uptime; set by start()
         self._started_at = None
 
@@ -380,7 +403,14 @@ class ArchiveServer:
         alive after the bounded join is a *leak* — a hung QET — and
         raises :class:`RuntimeError` naming the stragglers, so it shows
         up as a test failure instead of a silently orphaned thread.
+
+        Idempotent: a second call (e.g. cleanup after :meth:`crash`) is
+        a no-op.
         """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
         self._closing.set()
         listener = self._listener
         if listener is not None:
@@ -415,6 +445,41 @@ class ArchiveServer:
             )
 
     close = stop
+
+    def crash(self):
+        """Kill the server the way a process death would.
+
+        The listener and every live connection close *first* — so every
+        client deterministically sees EOF/reset on its next read, never
+        a structured cancellation frame — and in-flight jobs are
+        cancelled afterwards so server-side QET threads unwind.  Unlike
+        :meth:`stop`, nothing is joined and the session stays open (a
+        crashed process does not run cleanup); call :meth:`stop`
+        afterwards for the orderly teardown.  Safe to call from a
+        connection thread — the fault hooks do exactly that.
+        """
+        self._closing.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+            served = list(self._jobs.values())
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for item in served:
+            if not item.job.state.is_terminal():
+                item.job.cancel()
 
     def __enter__(self):
         return self.start()
@@ -497,6 +562,13 @@ class ArchiveServer:
                     break
                 try:
                     self._dispatch(sock, header, conn)
+                except DropConnection:
+                    # Injected connection fault: sever just this client.
+                    break
+                except CrashServer:
+                    # Injected server death: everything goes down at once.
+                    self.crash()
+                    break
                 except (BrokenPipeError, ConnectionResetError):
                     break
                 except OSError:
@@ -539,6 +611,9 @@ class ArchiveServer:
 
     def _dispatch(self, sock, header, conn):
         op = header.get("op")
+        policy = self.fault_policy
+        if policy is not None:
+            policy.on_op(op, header)
         registry = self.service.auth
         if registry is not None and op != "hello" and conn.user is None:
             # Mandatory-auth gate: with a user registry configured, a
@@ -719,6 +794,7 @@ class ArchiveServer:
             prepare_kwargs={
                 "mode": header.get("mode", "full"),
                 "select_index": int(header.get("select_index", 0)),
+                "ranges": header.get("ranges"),
             },
             user=conn.effective_user,
         )
@@ -825,11 +901,22 @@ class ArchiveServer:
                 "state": served.job.state.value,
             },
         )
-        for batch in batches:
+        policy = self.fault_policy
+        for index, batch in enumerate(batches):
+            if policy is not None:
+                # The mid-stream injection point: a kill here dies with
+                # rows in flight, which is exactly what failover must
+                # survive without losing or duplicating them.
+                policy.on_stream_batch(served.job_id, index)
             table_header, body = table_to_wire(
                 batch, compression=served.compression
             )
             table_header["op"] = "batch"
+            if batch.delivered is not None:
+                # Resume-from-range bookkeeping for range-restricted
+                # shard streams: the containers fully accounted for up
+                # to and including this batch.
+                table_header["delivered"] = [list(iv) for iv in batch.delivered]
             send_frame(sock, table_header, body)
 
     def _handle_cancel(self, sock, header, conn):

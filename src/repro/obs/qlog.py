@@ -110,6 +110,11 @@ class QueryLog:
                 )
                 if key in counters
             }
+            # Resilience telemetry: how many submissions and replica
+            # failovers the job's remote leaves needed (0/0 locally).
+            if counters.get("attempts"):
+                record["io"]["attempts"] = counters["attempts"]
+                record["io"]["failovers"] = counters.get("failovers", 0)
         return record
 
     # ------------------------------------------------------------------

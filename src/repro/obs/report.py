@@ -55,6 +55,11 @@ def _raw_metrics(job):
         accesses, hits = counters["pool"]
         out["buffer_pool.hits"] = int(hits)
         out["buffer_pool.misses"] = int(accesses) - int(hits)
+    if counters.get("attempts"):
+        # Remote jobs only: submissions attempted across the job's
+        # remote leaves and successful replica failovers among them.
+        out["net.attempts"] = int(counters["attempts"])
+        out["net.failovers"] = int(counters.get("failovers", 0))
     if counters["workers_configured"]:
         items = counters["worker_items"]
         out["workers.configured"] = counters["workers_configured"]
@@ -99,6 +104,9 @@ def legacy_io_report(job):
         "workers": None,
         "cache": None,
     }
+    if "net.attempts" in snap:
+        report["attempts"] = snap["net.attempts"]
+        report["failovers"] = snap.get("net.failovers", 0)
     if "workers.configured" in snap:
         configured = snap["workers.configured"]
         active = snap.get("workers.active", 0)

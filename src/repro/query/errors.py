@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["QueryError", "ParseError", "PlanError", "ExecutionError"]
+__all__ = [
+    "QueryError",
+    "ParseError",
+    "PlanError",
+    "ExecutionError",
+    "UnrecoverableShardError",
+]
 
 
 class QueryError(Exception):
@@ -28,3 +34,21 @@ class PlanError(QueryError):
 
 class ExecutionError(QueryError):
     """Raised when a QET node fails during execution."""
+
+
+class UnrecoverableShardError(ExecutionError):
+    """A shard endpoint died and no surviving replica covers its data.
+
+    The structured form of "part of the answer is gone": ``ranges``
+    names the container-id intervals whose rows could not be re-routed,
+    and ``endpoint`` the dead server.  Raised by the remote
+    scatter-gather executor after failover planning fails; living in a
+    trusted error module, it re-raises as itself across the wire.
+    """
+
+    def __init__(self, message, ranges=(), endpoint=None):
+        super().__init__(message)
+        #: tuple of ``(lo, hi)`` closed container-id intervals lost
+        self.ranges = tuple(tuple(int(v) for v in iv) for iv in ranges)
+        #: ``(host, port)`` of the dead endpoint, when known
+        self.endpoint = tuple(endpoint) if endpoint is not None else None

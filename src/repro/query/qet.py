@@ -28,6 +28,7 @@ import numpy as np
 from repro.catalog.schema import Field as SchemaField
 from repro.catalog.schema import Schema
 from repro.catalog.table import ObjectTable
+from repro.htm.ranges import RangeSet
 from repro.query.errors import ExecutionError
 
 __all__ = [
@@ -49,6 +50,25 @@ __all__ = [
 ]
 
 _SENTINEL = object()
+
+
+def _merge_delivered(current, batch):
+    """Fold a batch's delivered-range annotation into a running union.
+
+    ``current`` is an interval tuple (or ``None``); returns the merged
+    interval tuple (or ``None`` when neither side carries one).  The
+    pipeline-breaker nodes use this to carry a delivery-tracked scan's
+    container bookkeeping through to their single output batch, so a
+    holistic shard result still tells the coordinator which containers
+    it accounts for.
+    """
+    intervals = getattr(batch, "delivered", None)
+    if intervals is None:
+        return current
+    merged = RangeSet(tuple(tuple(iv) for iv in intervals))
+    if current is not None:
+        merged = merged.union(RangeSet(tuple(tuple(iv) for iv in current)))
+    return merged.intervals
 
 
 class Stream:
@@ -147,6 +167,10 @@ class Stream:
                 break
             yield batch
         if self.error is not None:
+            if isinstance(self.error, ExecutionError):
+                # Structured execution errors (e.g. an unrecoverable
+                # shard failover) keep their class — callers match on it.
+                raise self.error
             raise ExecutionError(str(self.error)) from self.error
 
 
@@ -311,7 +335,16 @@ class ScanNode(QETNode):
     #: ~100 tiny containers per vectorized pass
     RAMP_ROWS = 256
 
-    def __init__(self, store, plan, batch_rows=4096, coverage=None, workers=1):
+    def __init__(
+        self,
+        store,
+        plan,
+        batch_rows=4096,
+        coverage=None,
+        workers=1,
+        restrict=None,
+        track_delivery=False,
+    ):
         super().__init__(())
         self.store = store
         self.plan = plan
@@ -321,6 +354,17 @@ class ScanNode(QETNode):
         #: distributed executor computes the cover once and shares it
         #: across every shard scan instead of re-covering per server.
         self.coverage = coverage
+        #: optional :class:`~repro.htm.ranges.RangeSet` of container ids
+        #: this scan may read — the coordinator's disjoint assignment on
+        #: a replicated cluster, where endpoint holdings overlap and an
+        #: unrestricted scan would duplicate rows across shards.
+        self.restrict = restrict
+        #: when True, every emitted batch is stamped with the cumulative
+        #: set of containers fully accounted for so far (resume-from-
+        #: range failover bookkeeping).  Forces the serial scan path and
+        #: one-batch-per-flush emission, so the annotation is exact.
+        self.track_delivery = bool(track_delivery)
+        self._delivered_ids = []
         #: the node's SweepSubscription while running (I/O telemetry)
         self.subscription = None
 
@@ -358,6 +402,15 @@ class ScanNode(QETNode):
         self.stats.predicate_evals += 1
         if len(selected) == 0:
             return True
+        if self.track_delivery:
+            # One batch per flush, never chunked: the annotation says
+            # "every row of these containers is in the stream up to and
+            # including this batch", which chunking would falsify for
+            # all but the last chunk.  Containers whose rows were all
+            # filtered out ride along in the cumulative set — rescanning
+            # them after a failover would yield zero rows anyway.
+            selected.delivered = RangeSet.from_ids(self._delivered_ids).intervals
+            return self._emit(selected)
         if self.batch_rows > 0:
             for piece in selected.iter_chunks(self.batch_rows):
                 if not self._emit(piece):
@@ -372,6 +425,12 @@ class ScanNode(QETNode):
         candidates, but delivery is run-granular), ``True`` when the rows
         need the exact geometric test, ``False`` when fully inside.
         """
+        if self.restrict is not None and not self.restrict.contains(htm_id):
+            # Not this scan's assignment (another replica holds it, or
+            # it was already delivered before a failover).  Checked per
+            # container, not just via subscription candidates, because
+            # delivery is run-granular.
+            return None
         if region is None:
             return False
         if inside.contains(htm_id):
@@ -392,10 +451,16 @@ class ScanNode(QETNode):
                 coverage = cover_region(region, self.store.depth)
             inside, partial = coverage.inside, coverage.partial
             candidates = coverage.candidates()
+        if self.restrict is not None:
+            candidates = (
+                self.restrict
+                if candidates is None
+                else candidates.intersect(self.restrict)
+            )
         subscription = self.store.sweeper().subscribe(candidates=candidates)
         self.subscription = subscription
         try:
-            if self.workers > 1 and self.batch_rows > 0:
+            if self.workers > 1 and self.batch_rows > 0 and not self.track_delivery:
                 self._run_parallel(subscription, region, inside, partial)
             else:
                 self._run_serial(subscription, region, inside, partial)
@@ -418,6 +483,11 @@ class ScanNode(QETNode):
             if self.output.cancelled():
                 return
             for htm_id, table, _from_pool in run:
+                if self.track_delivery:
+                    # Every delivered container is accounted for — even
+                    # empty or dropped ones, which a resumed scan would
+                    # simply find empty again.
+                    self._delivered_ids.append(htm_id)
                 if len(table) == 0:
                     continue
                 needs_region = self._classify(htm_id, region, inside, partial)
@@ -542,6 +612,9 @@ class ProjectNode(QETNode):
                     return
                 continue
             projected = self._project(batch)
+            # 1:1 batch mapping: the delivery-tracking annotation (if
+            # any) describes exactly the same rows after projection.
+            projected.delivered = batch.delivered
             if not self._emit(projected):
                 child.output.cancel()
                 return
@@ -600,13 +673,18 @@ class SortNode(QETNode):
         batches = list(child.output)
         if not batches:
             return
+        delivered = None
+        for batch in batches:
+            delivered = _merge_delivered(delivered, batch)
         table = ObjectTable.concat_all(batches)
         order = np.arange(len(table))
         # Stable sorts applied from the least-significant key backwards.
         for key_fn, descending in reversed(list(zip(self.key_fns, self.descending_flags))):
             keys = np.asarray(key_fn(table.take(order)))
             order = order[self._stable_order(keys, descending)]
-        self._emit(table.take(order))
+        out = table.take(order)
+        out.delivered = delivered
+        self._emit(out)
 
 
 class LimitNode(QETNode):
@@ -626,7 +704,9 @@ class LimitNode(QETNode):
             return
         for batch in child.output:
             if len(batch) > remaining:
-                batch = batch.take(np.arange(remaining))
+                truncated = batch.take(np.arange(remaining))
+                truncated.delivered = batch.delivered
+                batch = truncated
             remaining -= len(batch)
             if not self._emit(batch):
                 child.output.cancel()
@@ -757,7 +837,9 @@ class TopKNode(QETNode):
         data = None  # candidate rows, in arrival order
         keys = None  # aligned key arrays
         threshold = None  # key tuple of the current k-th best candidate
+        delivered = None  # union of the input's delivery annotations
         for batch in child.output:
+            delivered = _merge_delivered(delivered, batch)
             if self._schema is None:
                 self._schema = batch.schema
             batch_keys = self._keys_for(batch)
@@ -786,7 +868,9 @@ class TopKNode(QETNode):
         if data is None or len(data) == 0:
             return
         order = self._order(keys)[:k]
-        self._emit(ObjectTable(self._schema, data[order]))
+        out = ObjectTable(self._schema, data[order])
+        out.delivered = delivered
+        self._emit(out)
 
     def _run_parallel(self, child, k):
         """K workers with ordinal-stamped pulls and per-worker pruning."""
@@ -1115,6 +1199,7 @@ class AggregateNode(QETNode):
 
     def run(self):
         child = self.children[0]
+        delivered = None
         if self.workers > 1:
             accumulator = self._drain_parallel(child)
         else:
@@ -1122,12 +1207,15 @@ class AggregateNode(QETNode):
                 self.group_specs, self.aggregate_specs
             )
             for batch in child.output:
+                delivered = _merge_delivered(delivered, batch)
                 accumulator.update(batch)
                 if accumulator.keys:
                     self.stats.note_buffered(len(accumulator.keys[0]))
         if accumulator.rows_seen == 0:
             return
-        self._emit(accumulator.finalize(self.output_order))
+        out = accumulator.finalize(self.output_order)
+        out.delivered = delivered
+        self._emit(out)
 
     def _drain_parallel(self, child):
         """K workers, one partial accumulator each, merged at the end."""

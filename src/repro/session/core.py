@@ -186,7 +186,9 @@ class Job:
         job touched (``has_sweep``/``has_pool`` flag whether any were
         seen).  Remote nodes contribute the counters their archive
         server shipped back in ``io_report`` frames, so telemetry
-        aggregates correctly across the wire.
+        aggregates correctly across the wire.  ``attempts``/``failovers``
+        sum each remote leaf's submissions and successful replica
+        failovers (both 0 for purely local jobs).
         """
         counters = {
             "containers_read": 0,
@@ -199,6 +201,8 @@ class Job:
             "workers_configured": 0,
             "worker_items": [],
             "cache": None,
+            "attempts": 0,
+            "failovers": 0,
         }
         if self._result is None:
             return counters
@@ -218,6 +222,8 @@ class Job:
                         items[slot] += int(count)
                     else:
                         items.append(int(count))
+            counters["attempts"] += int(getattr(node, "attempts", 0))
+            counters["failovers"] += int(getattr(node, "failovers", 0))
             remote_raw = getattr(node, "remote_io_raw", None)
             if remote_raw is not None:
                 swept, delivered = remote_raw.get("sweep", (0, 0))

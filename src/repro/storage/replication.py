@@ -13,7 +13,59 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
-__all__ = ["ReplicationManager"]
+__all__ = ["ReplicationManager", "replicate_archive"]
+
+
+def replicate_archive(archive, replication_factor=2):
+    """Physically copy every container onto extra servers.
+
+    Gives a :class:`~repro.storage.cluster.DistributedArchive` full
+    ``replication_factor``-way redundancy — each container of every
+    hosted source also lives on the ``replication_factor - 1`` servers
+    following its owner (wrap-around), so any single server can die and
+    every container still has a live copy.  Placement is deterministic
+    (owner + k modulo server count), all sources of a sky area travel
+    together, and every placement is registered with the archive's
+    :class:`ReplicationManager` (attached on demand).
+
+    This is the eager counterpart to :meth:`ReplicationManager.rebalance`
+    (which replicates only *hot* containers): chaos tests and failover
+    demos need blanket redundancy up front, before any traffic exists to
+    measure heat from.
+
+    Returns the number of (container, server) placements made.
+    """
+    replication_factor = int(replication_factor)
+    n_servers = len(archive.servers)
+    if replication_factor < 1:
+        raise ValueError("replication_factor must be >= 1")
+    if replication_factor > n_servers:
+        raise ValueError(
+            f"replication_factor {replication_factor} exceeds "
+            f"{n_servers} server(s)"
+        )
+    if archive.replication is None:
+        archive.enable_replication(replication_factor=replication_factor)
+    manager = archive.replication
+    placements = 0
+    for server in archive.servers:
+        for source_name, store in server.stores().items():
+            for htm_id in sorted(store.containers):
+                if archive.partition_map.server_for(htm_id) != server.server_id:
+                    continue  # a replica already placed by this pass
+                container = store.containers[htm_id]
+                for k in range(1, replication_factor):
+                    target = archive.servers[
+                        (server.server_id + k) % n_servers
+                    ]
+                    target_store = target.stores()[source_name]
+                    if htm_id in target_store.containers:
+                        continue
+                    target_store.get_or_create(htm_id).append(container.table)
+                    target_store.note_mutation([htm_id])
+                    manager.replicas[htm_id].add(target.server_id)
+                    placements += 1
+    return placements
 
 
 class ReplicationManager:

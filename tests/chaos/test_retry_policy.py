@@ -1,0 +1,135 @@
+"""RetryPolicy in isolation: schedule, jitter, budgets, error classes.
+
+No sockets here — the policy injects ``sleep`` and ``rng``, so every
+assertion is exact and instant.  The wire-level behavior (which ops are
+wrapped, which are not) is covered in test_chaos_failover.py.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net import RetryPolicy
+from repro.net.protocol import ConnectionClosed
+from repro.obs.metrics import registry
+
+
+class FlakyError(OSError):
+    """A retryable failure with its own class, to assert re-raising."""
+
+
+def _no_sleep(_seconds):
+    pass
+
+
+class TestSchedule:
+    def test_capped_exponential_without_jitter(self):
+        slept = []
+        policy = RetryPolicy(
+            attempts=5,
+            base_delay=0.1,
+            max_delay=0.4,
+            multiplier=2.0,
+            jitter=0.0,
+            sleep=slept.append,
+        )
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise FlakyError("boom")
+
+        with pytest.raises(FlakyError):
+            policy.call(always_fails)
+        assert len(calls) == 5
+        # 0.1 * 2^k, capped at 0.4; one sleep between each attempt pair.
+        assert slept == [0.1, 0.2, 0.4, 0.4]
+
+    def test_jitter_stays_within_the_declared_fraction(self):
+        policy = RetryPolicy(
+            attempts=3,
+            base_delay=0.2,
+            max_delay=10.0,
+            multiplier=3.0,
+            jitter=0.25,
+            rng=random.Random(7),
+            sleep=_no_sleep,
+        )
+        for attempt in range(5):
+            nominal = min(10.0, 0.2 * 3.0**attempt)
+            for _ in range(100):
+                delay = policy.delay(attempt)
+                assert 0.75 * nominal - 1e-12 <= delay <= 1.25 * nominal + 1e-12
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.05, jitter=0.0, sleep=_no_sleep)
+        assert policy.delay(0) == 0.05
+        assert policy.delay(1) == 0.1
+
+
+class TestBudget:
+    def test_exhaustion_reraises_the_original_error(self):
+        policy = RetryPolicy(attempts=3, jitter=0.0, sleep=_no_sleep)
+        original = ConnectionClosed("server went away")
+
+        def always_fails():
+            raise original
+
+        with pytest.raises(ConnectionClosed) as caught:
+            policy.call(always_fails)
+        assert caught.value is original
+
+    def test_success_after_transient_failures(self):
+        before = registry().snapshot().get("net.retries", 0)
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise FlakyError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=5, jitter=0.0, sleep=_no_sleep)
+        assert policy.call(flaky) == "ok"
+        assert state["calls"] == 3
+        # Each performed retry is counted in the process-wide registry.
+        assert registry().snapshot().get("net.retries", 0) == before + 2
+
+    def test_single_attempt_budget_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(attempts=1, sleep=slept.append)
+
+        def always_fails():
+            raise FlakyError("boom")
+
+        with pytest.raises(FlakyError):
+            policy.call(always_fails)
+        assert slept == []
+
+
+class TestRetryOn:
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy = RetryPolicy(attempts=5, jitter=0.0, sleep=_no_sleep)
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise ValueError("a structured refusal, not a flaky wire")
+
+        with pytest.raises(ValueError):
+            policy.call(wrong_kind)
+        assert len(calls) == 1
+
+    def test_custom_retry_on_filter(self):
+        policy = RetryPolicy(attempts=3, jitter=0.0, sleep=_no_sleep)
+        calls = []
+
+        def fails_with_key_error():
+            calls.append(1)
+            raise KeyError("retry me")
+
+        with pytest.raises(KeyError):
+            policy.call(fails_with_key_error, retry_on=(KeyError,))
+        assert len(calls) == 3
